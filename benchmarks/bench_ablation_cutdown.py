@@ -1,0 +1,51 @@
+"""Ablation: what spatial standardization does to a full kernel.
+
+Quantifies Section VIII's argument against ANMLZoo's cut-down benchmarks:
+trimming the Random Forest automaton to progressively smaller capacity
+budgets (whole decision-tree paths dropped, as ANMLZoo did to fit the
+D480) degrades classification accuracy relative to the full trained model
+— so a cut-down benchmark cannot be fairly compared against algorithms
+that compute the complete kernel.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.randomforest import VARIANTS, classify_with_automaton, train_variant
+from repro.benchmarks.standardize import cut_down
+
+
+def run_experiment(scale: float):
+    trained = train_variant(
+        VARIANTS["B"], n_train=800, n_test=300, seed=1, scale=max(scale * 10, 0.1)
+    )
+    x, y = trained.test_x, trained.test_y
+    rows = []
+    full_pred = classify_with_automaton(trained.automaton, x, n_classes=10)
+    rows.append(("full kernel", trained.automaton.n_states, (full_pred == y).mean()))
+    for fraction in (0.5, 0.25, 0.1):
+        budget = max(1, int(trained.automaton.n_states * fraction))
+        result = cut_down(trained.automaton, budget, seed=4)
+        pred = classify_with_automaton(result.automaton, x, n_classes=10)
+        rows.append(
+            (f"cut to {int(100 * fraction)}%", result.states_after, (pred == y).mean())
+        )
+    return rows
+
+
+def render(rows) -> str:
+    lines = [f"{'Variant':16s} {'states':>9s} {'accuracy':>9s}"]
+    for name, states, accuracy in rows:
+        lines.append(f"{name:16s} {states:9,} {accuracy:9.4f}")
+    return "\n".join(lines)
+
+
+def test_ablation_cut_down_damage(benchmark, scale, results_dir):
+    rows = benchmark.pedantic(run_experiment, args=(scale,), rounds=1, iterations=1)
+    emit(results_dir, "ablation_cutdown", render(rows))
+    accuracies = [accuracy for _name, _states, accuracy in rows]
+    # mild cuts can wobble either way at reduced scale (ensemble noise),
+    # but heavy cuts always damage the kernel badly
+    assert accuracies[-1] < accuracies[0] - 0.05
+    assert accuracies[-1] == min(accuracies)

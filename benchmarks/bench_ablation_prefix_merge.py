@@ -1,0 +1,76 @@
+"""Ablation: what prefix merging buys per benchmark family.
+
+Table I reports compressed state counts; this ablation additionally
+measures what the optimization does to *runtime* (active set shrinks when
+shared prefixes collapse) and verifies report-stream equivalence on the
+standard input — the property that makes it a legal optimization.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.benchmarks import build_benchmark
+from repro.engines import VectorEngine
+from repro.transforms import merge_common_prefixes
+
+FAMILIES = ("ClamAV", "Brill", "Entity Resolution", "CRISPR CasOT")
+
+
+def run_experiment(scale: float):
+    results = {}
+    for name in FAMILIES:
+        bench = build_benchmark(name, scale=scale, seed=0)
+        data = bench.input_data[:6_000]
+        merged, stats = merge_common_prefixes(bench.automaton)
+
+        before_engine = VectorEngine(bench.automaton)
+        after_engine = VectorEngine(merged)
+        before = before_engine.run(data, record_active=True)
+        after = after_engine.run(data, record_active=True)
+        assert [(r.offset, repr(r.code)) for r in before.reports] == [
+            (r.offset, repr(r.code)) for r in after.reports
+        ]
+
+        start = time.perf_counter()
+        before_engine.run(data)
+        t_before = time.perf_counter() - start
+        start = time.perf_counter()
+        after_engine.run(data)
+        t_after = time.perf_counter() - start
+
+        results[name] = {
+            "states_before": stats.states_before,
+            "states_after": stats.states_after,
+            "factor": stats.compression_factor,
+            "active_before": before.mean_active_set,
+            "active_after": after.mean_active_set,
+            "speedup": t_before / t_after if t_after > 0 else float("inf"),
+        }
+    return results
+
+
+def render(results) -> str:
+    lines = [
+        f"{'Benchmark':18s} {'states':>14s} {'removed':>8s} "
+        f"{'active set':>18s} {'speedup':>8s}"
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"{name:18s} {r['states_before']:6,}->{r['states_after']:6,} "
+            f"{100 * r['factor']:7.1f}% "
+            f"{r['active_before']:8.1f}->{r['active_after']:8.1f} "
+            f"{r['speedup']:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_prefix_merge(benchmark, scale, results_dir):
+    results = benchmark.pedantic(run_experiment, args=(scale,), rounds=1, iterations=1)
+    emit(results_dir, "ablation_prefix_merge", render(results))
+    for name, r in results.items():
+        assert r["states_after"] <= r["states_before"]
+        # merged automata never have a larger active set
+        assert r["active_after"] <= r["active_before"] + 1e-9

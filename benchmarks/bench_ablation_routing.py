@@ -1,0 +1,66 @@
+"""Ablation: routing architecture vs benchmark utilization (Section II-B).
+
+Places every mesh benchmark (plus chain-structured controls) on the
+tree-routed (D480-like) and island-style fabrics and reports state
+utilization — the effect that made ANMLZoo's Levenshtein benchmark occupy
+only 6% of the AP's state capacity and motivated AutomataZoo's
+architecture-independent sizing.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks import build_benchmark
+from repro.engines.placement import ISLAND_FABRIC, TREE_FABRIC, place
+
+BENCHES = [
+    "Levenshtein 19x3",
+    "Levenshtein 24x5",
+    "Levenshtein 37x10",
+    "Hamming 22x5",
+    "Snort",
+    "ClamAV",
+]
+
+
+def run_experiment(scale: float):
+    rows = []
+    for name in BENCHES:
+        bench = build_benchmark(name, scale=scale, seed=0)
+        tree = place(bench.automaton, TREE_FABRIC)
+        island = place(bench.automaton, ISLAND_FABRIC)
+        rows.append((name, tree, island))
+    return rows
+
+
+def render(rows) -> str:
+    lines = [
+        f"{'Benchmark':20s} {'tree util':>10s} {'tree bound':>11s} "
+        f"{'island util':>12s} {'island bound':>13s}"
+    ]
+    for name, tree, island in rows:
+        lines.append(
+            f"{name:20s} {100 * tree.utilization:9.1f}% {tree.bound:>11s} "
+            f"{100 * island.utilization:11.1f}% {island.bound:>13s}"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_routing_architectures(benchmark, scale, results_dir):
+    rows = benchmark.pedantic(run_experiment, args=(scale,), rounds=1, iterations=1)
+    emit(results_dir, "ablation_routing", render(rows))
+
+    by_name = {name: (tree, island) for name, tree, island in rows}
+    # the denser Levenshtein variants are routing-bound on the tree
+    # fabric, and utilization falls as edge density (d) grows
+    utils = [by_name[f"Levenshtein {v}"][0].utilization for v in ("19x3", "24x5", "37x10")]
+    assert all(
+        by_name[f"Levenshtein {v}"][0].bound == "routing"
+        for v in ("24x5", "37x10")
+    )
+    assert utils[0] > utils[1] > utils[2]
+    # island routing recovers utilization (or removes the routing bound)
+    for v in ("19x3", "24x5", "37x10"):
+        tree, island = by_name[f"Levenshtein {v}"]
+        assert island.utilization >= tree.utilization

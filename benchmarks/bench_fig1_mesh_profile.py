@@ -1,0 +1,74 @@
+"""Figure 1: match-rate curves for mesh automata on random DNA.
+
+Sweeps the encoded pattern length for every (kernel, d) combination and
+reports the average pattern matches per filter per million input symbols —
+the data behind the paper's Figure 1.  Each curve must fall exponentially
+in the pattern length and cross the 1-per-million selection threshold at
+the Table V point; the Hamming curves are also compared against the exact
+binomial expectation.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, suite_scale
+
+from repro.profiling import expected_reports_per_million, figure1_sweep
+
+SERIES = {
+    ("hamming", 3): range(12, 20),
+    ("hamming", 5): range(16, 24),
+    ("hamming", 10): range(25, 33),
+    ("levenshtein", 3): range(13, 21),
+    ("levenshtein", 5): range(18, 26),
+    ("levenshtein", 10): range(31, 39),
+}
+
+
+def run_sweeps(n_symbols: int):
+    out = {}
+    for (kernel, d), lengths in SERIES.items():
+        out[(kernel, d)] = figure1_sweep(
+            kernel,
+            d,
+            lengths,
+            n_filters=5,
+            n_symbols=n_symbols,
+            trials=2,
+            seed=2,
+        )
+    return out
+
+
+def render(sweeps) -> str:
+    lines = []
+    for (kernel, d), points in sweeps.items():
+        lines.append(f"{kernel} d={d}  (reports per filter per million symbols)")
+        for point in points:
+            analytic = (
+                f"  analytic={expected_reports_per_million(point.l, d):10.3f}"
+                if kernel == "hamming"
+                else ""
+            )
+            lines.append(
+                f"  l={point.l:3d}  measured={point.reports_per_million:10.3f}{analytic}"
+            )
+    return "\n".join(lines)
+
+
+def test_fig1_mesh_profile_curves(benchmark, results_dir):
+    n_symbols = max(30_000, int(1_000_000 * suite_scale() * 10))
+    sweeps = benchmark.pedantic(run_sweeps, args=(n_symbols,), rounds=1, iterations=1)
+    emit(results_dir, "fig1_mesh_profile", render(sweeps))
+
+    for (kernel, d), points in sweeps.items():
+        rates = [p.reports_per_million for p in points]
+        # exponential fall-off: the first point dwarfs the last
+        assert rates[0] > 10 * max(rates[-1], 0.01)
+        # monotone within noise: no later point above the first
+        assert max(rates[1:]) <= rates[0] * 1.5
+    # Hamming curves agree with the binomial model where rates are measurable
+    for d in (3, 5, 10):
+        for point in sweeps[("hamming", d)]:
+            expected = expected_reports_per_million(point.l, d)
+            if expected > 20:
+                assert 0.4 * expected < point.reports_per_million < 2.5 * expected

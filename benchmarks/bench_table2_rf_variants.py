@@ -1,0 +1,57 @@
+"""Table II: Random Forest benchmark variant trade-offs.
+
+Trains the three variants (A: 270 features/400 leaves, B: 200/400,
+C: 200/800, scaled) and reports states, accuracy, and runtime relative to
+variant B.  Runtime on spatial architectures is symbols-per-classification
+(the paper's linear-in-features result), reported both as the symbol ratio
+and as modelled FPGA wall-clock.
+
+Expected shape (paper): A ~1.35x B's runtime; C ~4x B's states with ~+1%
+accuracy; A's accuracy above B's.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.randomforest import VARIANTS, train_variant
+from repro.engines.spatial import KINTEX_KU060
+
+
+def run_variants(scale: float):
+    kwargs = dict(n_train=1200, n_test=400, seed=0, scale=max(scale * 12, 0.1))
+    return {key: train_variant(VARIANTS[key], **kwargs) for key in "ABC"}
+
+
+def render(trained) -> str:
+    base_symbols = trained["B"].symbols_per_classification
+    lines = [
+        f"{'Variant':8s} {'Features':>8s} {'MaxLeaves':>9s} {'States':>9s} "
+        f"{'Accuracy':>8s} {'Runtime':>8s} {'FPGA kCls/s':>12s}"
+    ]
+    for key, variant in trained.items():
+        symbols = variant.symbols_per_classification
+        runtime_ratio = symbols / base_symbols
+        fpga_rate = (
+            KINTEX_KU060.throughput_bytes_per_sec(variant.automaton) / symbols / 1e3
+        )
+        lines.append(
+            f"{key:8s} {len(variant.features):8d} "
+            f"{variant.forest.max_leaves:9d} {variant.states:9,} "
+            f"{variant.accuracy:8.4f} {runtime_ratio:7.2f}x {fpga_rate:12.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_table2_rf_variants(benchmark, scale, results_dir):
+    trained = benchmark.pedantic(run_variants, args=(scale,), rounds=1, iterations=1)
+    emit(results_dir, "table2_rf_variants", render(trained))
+
+    base = trained["B"]
+    # paper shape: A streams ~1.35x B's symbols
+    ratio = trained["A"].symbols_per_classification / base.symbols_per_classification
+    assert 1.2 < ratio < 1.5
+    # paper shape: C is ~4x B's states (deeper trees on 2x leaves)
+    assert trained["C"].states > 1.6 * base.states
+    # paper shape: more leaves help accuracy
+    assert trained["C"].accuracy >= base.accuracy - 0.01

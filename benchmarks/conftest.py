@@ -1,0 +1,43 @@
+"""Shared configuration for the experiment harness.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Experiments run at a reduced
+``scale`` so the whole harness completes in minutes; set the
+``REPRO_SCALE`` environment variable to raise it (1.0 = the paper's full
+benchmark parameters).
+
+Each experiment prints its table to stdout (visible with ``pytest -s``)
+and appends it to ``bench_results/`` so EXPERIMENTS.md can quote measured
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+def suite_scale(default: float = 0.01) -> float:
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return suite_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result table and persist it under bench_results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""File recovery: carving a corrupted disk image with bit-level patterns.
+
+Builds a disk image of zip/mpeg/mp4/jpeg files plus text containing e-mail
+addresses and SSNs, then carves it with the File Carving benchmark —
+whose zip pattern validates the MS-DOS timestamp bit-fields (Section IX-B)
+rather than just the 4-byte magic, eliminating the false positives of
+exact-match carvers.
+
+Run:  python examples/file_recovery.py
+"""
+
+import random
+
+from repro.benchmarks.filecarving import build_filecarving_automaton
+from repro.engines import VectorEngine
+from repro.inputs.diskimage import build_disk_image
+
+
+def main() -> None:
+    image = build_disk_image(
+        ["zip", "text", "mpeg2", "mp4", "jpeg", "zip", "png"], seed=11
+    )
+    # append forensic metadata (keeps ground-truth offsets intact)
+    data = bytearray(image.data)
+    data += b" reach me at jane.doe@forensics.example.net ssn 219-09-9999 "
+
+    # plus a decoy: a bare PK magic with garbage structure (a false
+    # positive for naive magic-matching carvers)
+    rng = random.Random(3)
+    decoy = b"PK\x03\x04" + bytes(rng.randrange(256) for _ in range(20))
+    data += decoy
+    stream = bytes(data)
+
+    automaton = build_filecarving_automaton()
+    print(f"carver: {automaton.n_states} states, "
+          f"{len(automaton.connected_components())} patterns")
+    print(f"image: {len(stream):,} bytes, ground truth: "
+          f"{[e.kind for e in image.entries]}\n")
+
+    result = VectorEngine(automaton).run(stream)
+    by_kind: dict[str, list[int]] = {}
+    for event in result.reports:
+        by_kind.setdefault(event.code, []).append(event.offset)
+
+    for kind in sorted(by_kind):
+        offsets = by_kind[kind]
+        print(f"  {kind:12s} x{len(offsets):<3d} at {offsets[:5]}")
+
+    zip_truth = [e.offset for e in image.entries if e.kind == "zip"]
+    hits = by_kind.get("zip-header", [])
+    print(f"\nzip files at {zip_truth} (each holds two member headers); "
+          f"structured pattern found {len(hits)} headers")
+    # every zip file's first header found; the garbage decoy rejected
+    assert all(any(z <= h <= z + 40 for h in hits) for z in zip_truth)
+    decoy_start = len(stream) - 24
+    assert not any(h >= decoy_start for h in hits), "decoy matched!"
+    print("the decoy PK magic with a garbage timestamp was rejected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""A network IDS pipeline: Snort-lite rules end to end.
+
+Demonstrates the Section V methodology plus two engine strategies on the
+same filtered ruleset:
+
+1. generate a Snort-lite ruleset and apply the paper's whole-stream
+   filtering (drop buffer-modifier and isdataat rules);
+2. scan synthetic traffic with the compiled benchmark automaton,
+   summarising the reporting-bottleneck pressure before/after filtering;
+3. scan again with the literal-prefilter strategy (the Hyperscan
+   decomposition) and check the alert streams agree.
+
+Run:  python examples/network_ids.py
+"""
+
+import time
+
+from repro.benchmarks.snort import build_snort_automaton
+from repro.engines import PrefilterScanner, VectorEngine
+from repro.inputs.pcap import synthetic_pcap
+from repro.regex import compile_regex
+from repro.snort import generate_ruleset
+from repro.stats import analyze_report_pressure
+
+
+def main() -> None:
+    rules = generate_ruleset(250, seed=7)
+    traffic = synthetic_pcap(400, seed=8)
+    print(f"ruleset: {len(rules)} rules; traffic: {len(traffic):,} bytes")
+
+    # -- Section V filtering -------------------------------------------------
+    unfiltered, _, _ = build_snort_automaton(
+        rules, exclude_modifier_rules=False, exclude_isdataat_rules=False
+    )
+    filtered, included, rejected = build_snort_automaton(rules)
+    print(
+        f"whole-stream-safe rules: {len(included)} "
+        f"(excluded: buffer-modifier/isdataat; uncompilable: {len(rejected)})"
+    )
+
+    for label, automaton in (("unfiltered", unfiltered), ("filtered", filtered)):
+        result = VectorEngine(automaton).run(traffic)
+        pressure = analyze_report_pressure(result)
+        print(
+            f"  {label:10s}: {result.report_count:7,} alerts, modelled "
+            f"output-drain stall overhead {100 * pressure.stall_overhead:6.1f}% "
+            f"on a D480-like report buffer"
+        )
+
+    # -- alert inspection -----------------------------------------------------
+    result = VectorEngine(filtered).run(traffic)
+    by_rule: dict[int, int] = {}
+    for event in result.reports:
+        by_rule[event.code] = by_rule.get(event.code, 0) + 1
+    rule_of = {rule.sid: rule for rule in rules}
+    print("\ntop alerting rules:")
+    for sid, count in sorted(by_rule.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  sid {sid}: {count:5,}x  /{rule_of[sid].pcre}/  ({rule_of[sid].msg})")
+
+    # -- prefiltered scanning ---------------------------------------------------
+    patterns = []
+    for rule in included:
+        try:
+            compile_regex(rule.pcre)
+            patterns.append((rule.sid, rule.pcre))
+        except Exception:
+            pass
+    scanner = PrefilterScanner(patterns)
+    start = time.perf_counter()
+    prefiltered = scanner.scan(traffic)
+    elapsed = time.perf_counter() - start
+    full_alerts = {(r.offset, r.code) for r in result.reports}
+    pre_alerts = {(r.offset, r.code) for r in prefiltered.reports}
+    assert pre_alerts == full_alerts, "prefilter changed the alert stream!"
+    print(
+        f"\nliteral prefilter: {scanner.gated_rules}/{len(patterns)} rules "
+        f"gated; identical alerts in {elapsed:.2f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

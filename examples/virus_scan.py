@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Virus scanning: the ClamAV benchmark as an application.
+
+Builds a synthetic signature database, assembles a disk image with two
+embedded virus fragments (the paper's standard input), scans it with the
+automata engine, and reports which signatures fired where — demonstrating
+the "full kernel" property: the report stream is directly the scanner's
+output.
+
+Run:  python examples/virus_scan.py
+"""
+
+from repro.benchmarks.clamav import build_clamav_benchmark
+from repro.engines import VectorEngine
+
+
+def main() -> None:
+    bench = build_clamav_benchmark(n_signatures=200, seed=42, n_files=10)
+    print(
+        f"database: {len(bench.signatures)} signatures, "
+        f"automaton: {bench.automaton.n_states:,} states"
+    )
+    print(f"disk image: {len(bench.image.data):,} bytes, "
+          f"{len(bench.image.entries)} files")
+    print(f"ground truth: fragments of {bench.planted} embedded\n")
+
+    engine = VectorEngine(bench.automaton)
+    result = engine.run(bench.image.data, record_active=True)
+
+    detections: dict[str, list[int]] = {}
+    for event in result.reports:
+        detections.setdefault(event.code, []).append(event.offset)
+
+    print(f"scan complete: mean active set {result.mean_active_set:.1f}")
+    if not detections:
+        print("no detections")
+    for name, offsets in sorted(detections.items()):
+        marker = "PLANTED" if name in bench.planted else "chance match"
+        print(f"  {name:22s} at offsets {offsets[:4]}  [{marker}]")
+
+    missed = set(bench.planted) - set(detections)
+    if missed:
+        raise SystemExit(f"FAILED to detect planted fragments: {missed}")
+    print("\nboth planted virus fragments detected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Non-automata baseline algorithms computing the same kernels."""
+
+from repro.baselines.aho_corasick import AhoCorasick
+from repro.baselines.forest_native import FlatTree, NativeForest
+from repro.baselines.matchers import MyersMatcher, hamming_matches, levenshtein_matches
+from repro.baselines.shift_and import ShiftAndMatcher
+
+__all__ = [
+    "AhoCorasick",
+    "FlatTree",
+    "MyersMatcher",
+    "NativeForest",
+    "ShiftAndMatcher",
+    "hamming_matches",
+    "levenshtein_matches",
+]

@@ -1,0 +1,86 @@
+"""Aho–Corasick multi-pattern exact matching.
+
+The classical CPU-native algorithm for multi-literal search.  In the
+reproduction it plays two roles: a non-automata-engine comparator for the
+literal-heavy benchmarks (ClamAV/YARA exact strings), and an independent
+oracle for testing literal rulesets compiled through the regex pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+__all__ = ["AhoCorasick"]
+
+
+class AhoCorasick:
+    """An Aho–Corasick matcher over byte patterns.
+
+    >>> ac = AhoCorasick([b"he", b"she", b"his"])
+    >>> sorted(ac.search(b"ushers"))
+    [(3, 0), (3, 1)]
+    """
+
+    def __init__(self, patterns: Iterable[bytes]) -> None:
+        self.patterns: list[bytes] = [bytes(p) for p in patterns]
+        if any(not p for p in self.patterns):
+            raise ValueError("empty patterns are not allowed")
+        # Trie as parallel arrays; node 0 is the root.
+        self._next: list[dict[int, int]] = [{}]
+        self._fail: list[int] = [0]
+        self._out: list[list[int]] = [[]]
+        for pattern_id, pattern in enumerate(self.patterns):
+            self._insert(pattern, pattern_id)
+        self._build_failure_links()
+
+    def _insert(self, pattern: bytes, pattern_id: int) -> None:
+        node = 0
+        for symbol in pattern:
+            nxt = self._next[node].get(symbol)
+            if nxt is None:
+                nxt = len(self._next)
+                self._next.append({})
+                self._fail.append(0)
+                self._out.append([])
+                self._next[node][symbol] = nxt
+            node = nxt
+        self._out[node].append(pattern_id)
+
+    def _build_failure_links(self) -> None:
+        queue: deque[int] = deque()
+        for child in self._next[0].values():
+            queue.append(child)
+        while queue:
+            node = queue.popleft()
+            for symbol, child in self._next[node].items():
+                queue.append(child)
+                fallback = self._fail[node]
+                while fallback and symbol not in self._next[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[child] = self._next[fallback].get(symbol, 0)
+                if self._fail[child] == child:
+                    self._fail[child] = 0
+                self._out[child] = self._out[child] + self._out[self._fail[child]]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._next)
+
+    def search(self, data: bytes) -> Iterator[tuple[int, int]]:
+        """Yield ``(end_offset, pattern_id)`` for every occurrence.
+
+        ``end_offset`` is the index of the last byte of the match,
+        matching the engines' report-offset convention.
+        """
+        node = 0
+        for offset, symbol in enumerate(data):
+            while node and symbol not in self._next[node]:
+                node = self._fail[node]
+            node = self._next[node].get(symbol, 0)
+            for pattern_id in self._out[node]:
+                yield (offset, pattern_id)
+
+    def count(self, data: bytes) -> int:
+        """Total number of occurrences of all patterns in ``data``."""
+        return sum(1 for _ in self.search(data))

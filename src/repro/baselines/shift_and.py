@@ -1,0 +1,45 @@
+"""Shift-And bit-parallel matching for fixed-length class patterns.
+
+Matches a sequence of character sets (a fixed-length "extended literal",
+e.g. a ClamAV hex signature without jumps) against a stream in O(n) word
+operations.  Used as the exact-match CPU baseline and as an independent
+oracle for fixed-length automata.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.charset import CharSet
+
+__all__ = ["ShiftAndMatcher"]
+
+
+class ShiftAndMatcher:
+    """Bit-parallel matcher for a fixed sequence of character sets."""
+
+    def __init__(self, positions: Sequence[CharSet]) -> None:
+        if not positions:
+            raise ValueError("pattern must have at least one position")
+        self.positions = list(positions)
+        self._m = len(positions)
+        self._b = [0] * 256
+        for i, charset in enumerate(self.positions):
+            bit = 1 << i
+            for symbol in charset:
+                self._b[symbol] |= bit
+
+    @classmethod
+    def from_bytes(cls, pattern: bytes) -> "ShiftAndMatcher":
+        return cls([CharSet.single(b) for b in pattern])
+
+    def search(self, data: bytes) -> list[int]:
+        """End offsets (inclusive) of every match in ``data``."""
+        high = 1 << (self._m - 1)
+        state = 0
+        out: list[int] = []
+        for offset, symbol in enumerate(data):
+            state = ((state << 1) | 1) & self._b[symbol]
+            if state & high:
+                out.append(offset)
+        return out

@@ -1,0 +1,6 @@
+"""The 24 AutomataZoo benchmark generators and the suite registry."""
+
+from repro.benchmarks.registry import BENCHMARK_NAMES, build_benchmark, build_suite
+from repro.benchmarks.spec import Benchmark
+
+__all__ = ["BENCHMARK_NAMES", "Benchmark", "build_benchmark", "build_suite"]

@@ -1,0 +1,132 @@
+"""The AP PRNG benchmark (Wadden et al., ICCD'16).
+
+Markov chains modelled as automata and driven by uniformly random bytes
+become probabilistic: each chain state's outgoing transitions partition the
+256-symbol alphabet, so a random symbol selects a successor with
+probability proportional to its slice.  Many parallel chains then generate
+high-throughput pseudo-random output (the reported face sequence).
+
+An ``n``-sided die chain uses one STE per ordered (face_i -> face_j) pair
+(its charset is face_i's probability slice for face_j) plus one reporting
+STE per face — ``n^2 + n`` states, exactly the paper's 20 states for the
+4-sided and 72 for the 8-sided variants.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.core.automaton import Automaton
+from repro.core.charset import ALL_BYTES, CharSet
+from repro.core.elements import StartMode
+from repro.engines.base import Engine
+from repro.engines.vector import VectorEngine
+
+__all__ = [
+    "markov_chain_automaton",
+    "build_apprng_benchmark",
+    "random_input",
+    "extract_output",
+]
+
+
+def markov_chain_automaton(
+    n_faces: int,
+    *,
+    chain_id: object = None,
+    seed: int = 0,
+    uniform: bool = True,
+) -> Automaton:
+    """One ``n_faces``-sided die as an automaton.
+
+    ``uniform=True`` gives each transition an equal slice (up to the
+    remainder of 256 // n, assigned round-robin); ``uniform=False`` draws a
+    random transition matrix instead.
+    """
+    if n_faces < 2:
+        raise ValueError("a die needs at least 2 faces")
+    if n_faces > 256:
+        raise ValueError("more faces than input symbols")
+    rng = random.Random(seed)
+    automaton = Automaton(f"apprng-{n_faces}")
+
+    # Per source face: slice boundaries over 0..255.
+    slices: dict[tuple[int, int], CharSet] = {}
+    for source in range(n_faces):
+        if uniform:
+            weights = [1] * n_faces
+        else:
+            weights = [rng.randint(1, 8) for _ in range(n_faces)]
+        total = sum(weights)
+        cuts = []
+        acc = 0
+        for weight in weights:
+            acc += weight
+            cuts.append(round(256 * acc / total))
+        lo = 0
+        for target, hi in enumerate(cuts):
+            hi = max(hi, lo + 1)  # every transition keeps >= 1 symbol
+            hi = min(hi, 256 - (n_faces - 1 - target))
+            slices[(source, target)] = CharSet.from_ranges([(lo, hi - 1)])
+            lo = hi
+
+    for source in range(n_faces):
+        for target in range(n_faces):
+            automaton.add_ste(
+                f"t{source}_{target}",
+                slices[(source, target)],
+                # face 0 is the initial state of every chain
+                start=StartMode.START_OF_DATA if source == 0 else StartMode.NONE,
+            )
+    for face in range(n_faces):
+        automaton.add_ste(
+            f"r{face}",
+            ALL_BYTES,
+            report=True,
+            report_code=(chain_id, face),
+        )
+    for source in range(n_faces):
+        for target in range(n_faces):
+            for nxt in range(n_faces):
+                automaton.add_edge(f"t{source}_{target}", f"t{target}_{nxt}")
+            automaton.add_edge(f"t{source}_{target}", f"r{target}")
+    return automaton
+
+
+def build_apprng_benchmark(
+    n_faces: int,
+    n_chains: int = 1000,
+    *,
+    seed: int = 0,
+    uniform: bool = True,
+) -> Automaton:
+    """``n_chains`` independent die chains (paper: 1,000 per variant)."""
+    union = Automaton(f"apprng-{n_faces}-sided")
+    for chain in range(n_chains):
+        union.merge(
+            markov_chain_automaton(
+                n_faces, chain_id=chain, seed=seed + chain, uniform=uniform
+            ),
+            prefix=f"c{chain}.",
+        )
+    return union
+
+
+def random_input(n_symbols: int, *, seed: int = 0) -> bytes:
+    """Uniform pseudo-random byte stimulus."""
+    return np.random.default_rng(seed).integers(0, 256, n_symbols, dtype=np.uint8).tobytes()
+
+
+def extract_output(
+    automaton: Automaton, data: bytes, *, engine: Engine | None = None
+) -> dict[object, list[int]]:
+    """Run the PRNG and collect each chain's face sequence (its output)."""
+    if engine is None:
+        engine = VectorEngine(automaton)
+    out: dict[object, list[int]] = {}
+    for event in engine.run(data).reports:
+        chain_id, face = event.code
+        out.setdefault(chain_id, []).append(face)
+    return out

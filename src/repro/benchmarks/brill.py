@@ -1,0 +1,179 @@
+"""The Brill part-of-speech tagging benchmark.
+
+Brill tagging corrects tags with learned transformation rules of the form
+"change tag A to B when <context>", where contexts reference neighbouring
+tags and words.  Each rule's context is a pattern over the (word, tag)
+symbol stream; a report marks a position where the rule fires.  ANMLZoo
+used 2,050 rules from unreleased software; AutomataZoo uses 5,000 rules
+from an open generator — we synthesise 5,000 rules from the standard Brill
+template family.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+from repro.inputs.corpus import (
+    N_WORD_CLASSES,
+    POS_TAGS,
+    any_tag_range,
+    any_word_range,
+    tag_symbol,
+    word_symbol,
+)
+from repro.regex.compile import compile_ruleset
+
+__all__ = [
+    "BrillRule",
+    "TEMPLATES",
+    "apply_brill_rules",
+    "build_brill_automaton",
+    "generate_brill_rules",
+]
+
+#: The classic Brill context template names.
+TEMPLATES = (
+    "prev_tag",  # previous token's tag is Z
+    "next_tag",  # next token's tag is Z
+    "prev_two_tags",  # the two previous tags are Z, W
+    "surrounding_tags",  # previous tag Z and next tag W
+    "prev_word",  # previous token's word class is V
+    "cur_word_prev_tag",  # current word class V and previous tag Z
+)
+
+
+@dataclass(frozen=True)
+class BrillRule:
+    """One transformation rule: retag ``from_tag`` -> ``to_tag`` in context."""
+
+    rule_id: int
+    from_tag: str
+    to_tag: str
+    template: str
+    context: tuple  # template-specific parameters
+
+    def to_regex(self) -> str:
+        """The rule's firing context as a stream pattern.
+
+        The stream alternates word and tag symbols; the pattern always ends
+        on the *current token's tag* so the report offset identifies the
+        token being retagged.
+        """
+        tag = _sym(tag_symbol(self.from_tag))
+        any_word = _rng(any_word_range())
+        if self.template == "prev_tag":
+            (z,) = self.context
+            return _sym(tag_symbol(z)) + any_word + tag
+        if self.template == "next_tag":
+            # context after the current tag: match up to the NEXT tag and
+            # report there (offset = next token; consumer subtracts one).
+            (z,) = self.context
+            return tag + any_word + _sym(tag_symbol(z))
+        if self.template == "prev_two_tags":
+            z, w = self.context
+            return (
+                _sym(tag_symbol(z))
+                + any_word
+                + _sym(tag_symbol(w))
+                + any_word
+                + tag
+            )
+        if self.template == "surrounding_tags":
+            z, w = self.context
+            return _sym(tag_symbol(z)) + any_word + tag + any_word + _sym(tag_symbol(w))
+        if self.template == "prev_word":
+            (v,) = self.context
+            return _sym(word_symbol(v)) + _rng(any_tag_range()) + any_word + tag
+        if self.template == "cur_word_prev_tag":
+            v, z = self.context
+            return _sym(tag_symbol(z)) + _sym(word_symbol(v)) + tag
+        raise ValueError(f"unknown template {self.template!r}")
+
+
+def _sym(symbol: int) -> str:
+    return f"\\x{symbol:02x}"
+
+
+def _rng(bounds: tuple[int, int]) -> str:
+    lo, hi = bounds
+    return f"[\\x{lo:02x}-\\x{hi:02x}]"
+
+
+def generate_brill_rules(count: int = 5000, *, seed: int = 0) -> list[BrillRule]:
+    """Instantiate ``count`` rules across the template family."""
+    rng = random.Random(seed)
+    rules = []
+    seen = set()
+    while len(rules) < count:
+        template = rng.choice(TEMPLATES)
+        from_tag, to_tag = rng.sample(POS_TAGS, 2)
+        if template in ("prev_tag", "next_tag"):
+            context = (rng.choice(POS_TAGS),)
+        elif template in ("prev_two_tags", "surrounding_tags"):
+            context = (rng.choice(POS_TAGS), rng.choice(POS_TAGS))
+        elif template == "prev_word":
+            context = (rng.randrange(N_WORD_CLASSES),)
+        else:
+            context = (rng.randrange(N_WORD_CLASSES), rng.choice(POS_TAGS))
+        key = (template, from_tag, context)
+        if key in seen:
+            continue
+        seen.add(key)
+        rules.append(
+            BrillRule(
+                rule_id=len(rules),
+                from_tag=from_tag,
+                to_tag=to_tag,
+                template=template,
+                context=context,
+            )
+        )
+    return rules
+
+
+def build_brill_automaton(rules: list[BrillRule]) -> Automaton:
+    """Compile a rule list into the benchmark automaton."""
+    patterns = [(rule.rule_id, rule.to_regex()) for rule in rules]
+    automaton, rejected = compile_ruleset(patterns, name="brill")
+    assert not rejected
+    return automaton
+
+
+def _retag_position(rule: BrillRule, report_offset: int) -> int:
+    """Stream position of the tag the rule rewrites.
+
+    Patterns end on the current token's tag except ``next_tag``, whose
+    pattern extends to the following token's tag (two symbols later).
+    """
+    if rule.template == "next_tag":
+        return report_offset - 2
+    return report_offset
+
+
+def apply_brill_rules(
+    corpus: bytes, rules: list[BrillRule]
+) -> tuple[bytes, int]:
+    """The full Brill kernel: apply every rule, in order, over the stream.
+
+    Brill tagging is sequential: each learned rule scans the *current*
+    corpus and rewrites the tags its context matches, so later rules see
+    earlier rules' corrections.  Returns ``(retagged_corpus, n_changes)``.
+    """
+    from repro.engines.vector import VectorEngine
+    from repro.regex.compile import compile_regex
+
+    working = bytearray(corpus)
+    changes = 0
+    for rule in rules:
+        automaton = compile_regex(rule.to_regex(), report_code=rule.rule_id)
+        result = VectorEngine(automaton).run(bytes(working))
+        to_tag = tag_symbol(rule.to_tag)
+        for event in result.reports:
+            position = _retag_position(rule, event.offset)
+            if 0 <= position < len(working):
+                if working[position] != to_tag:
+                    working[position] = to_tag
+                    changes += 1
+    return bytes(working), changes

@@ -1,0 +1,121 @@
+"""CRISPR/Cas9 off-target search benchmarks (CasOFFinder / CasOT styles).
+
+Bo et al. built two automata filter designs mirroring the two established
+off-target search tools; AutomataZoo ships both so architectures can be
+compared on each (Section IV).  A guide RNA is a 20bp DNA pattern followed
+by the PAM motif ``NGG``:
+
+* **OFF** (CasOFFinder-style): mismatches only — a Hamming-style mesh over
+  the guide, with an exact-PAM tail (``N`` is a wildcard).
+* **OT** (CasOT-style): additionally tolerates DNA/RNA bulges (indels) — a
+  Levenshtein mesh over guide + PAM, which is why OT filters are ~3x
+  larger (Table I: 101 vs 37 states per filter).
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks.mesh import levenshtein_automaton
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import StartMode
+from repro.inputs.dna import DNA_ALPHABET, random_dna_patterns
+
+__all__ = ["PAM", "GUIDE_LENGTH", "cas_off_filter", "cas_ot_filter", "generate_guides"]
+
+#: The Cas9 protospacer-adjacent motif: any base then two guanines.
+PAM = "NGG"
+GUIDE_LENGTH = 20
+
+_DNA_ANY = CharSet.from_chars(DNA_ALPHABET)
+
+
+def _pam_charsets() -> list[CharSet]:
+    out = []
+    for ch in PAM:
+        if ch == "N":
+            out.append(_DNA_ANY)
+        else:
+            out.append(CharSet.from_chars(ch))
+    return out
+
+
+def cas_off_filter(
+    guide: bytes, mismatches: int = 3, *, guide_id: object = None
+) -> Automaton:
+    """CasOFFinder-style filter: <= ``mismatches`` substitutions in the
+    guide, exact PAM.  Reports ``(guide_id, mismatch_count)`` at the last
+    PAM base."""
+    if len(guide) == 0:
+        raise ValueError("guide must be non-empty")
+    if guide_id is None:
+        guide_id = guide.decode("latin-1")
+    automaton = Automaton(f"cas-off-{len(guide)}x{mismatches}")
+    d = mismatches
+
+    def add(kind: str, i: int, e: int, charset: CharSet) -> str:
+        return automaton.add_ste(
+            f"{kind}{i}e{e}",
+            charset,
+            start=StartMode.ALL_INPUT if i == 0 else StartMode.NONE,
+        ).ident
+
+    l = len(guide)
+    for i in range(l):
+        exact = CharSet.single(guide[i])
+        for e in range(0, min(i, d) + 1):
+            add("m", i, e, exact)
+        for e in range(1, min(i + 1, d) + 1):
+            add("x", i, e, _DNA_ANY - exact)
+    for i in range(l - 1):
+        for e in range(0, min(i, d) + 1):
+            automaton.add_edge(f"m{i}e{e}", f"m{i + 1}e{e}")
+            if e + 1 <= d:
+                automaton.add_edge(f"m{i}e{e}", f"x{i + 1}e{e + 1}")
+        for e in range(1, min(i + 1, d) + 1):
+            automaton.add_edge(f"x{i}e{e}", f"m{i + 1}e{e}")
+            if e + 1 <= d:
+                automaton.add_edge(f"x{i}e{e}", f"x{i + 1}e{e + 1}")
+
+    # PAM tail: one chain per surviving mismatch count.
+    pam = _pam_charsets()
+    for e in range(d + 1):
+        sources = [f"m{l - 1}e{e}"]
+        if 1 <= e:
+            sources.append(f"x{l - 1}e{e}")
+        previous = None
+        for k, charset in enumerate(pam):
+            ident = automaton.add_ste(
+                f"p{k}e{e}",
+                charset,
+                report=k == len(pam) - 1,
+                report_code=(guide_id, e) if k == len(pam) - 1 else None,
+            ).ident
+            if k == 0:
+                for source in sources:
+                    if source in automaton:
+                        automaton.add_edge(source, ident)
+            else:
+                automaton.add_edge(previous, ident)
+            previous = ident
+    return automaton
+
+
+def cas_ot_filter(
+    guide: bytes, distance: int = 2, *, guide_id: object = None
+) -> Automaton:
+    """CasOT-style filter: edit distance (mismatches + bulges) over the
+    guide+PAM sequence.  ``N`` in the PAM is modelled as a fixed base per
+    filter variant being unnecessary — the Levenshtein mesh's substitution
+    tolerance covers the wildcard within the distance budget, so we search
+    ``guide + AGG`` at distance ``distance + 1``."""
+    if guide_id is None:
+        guide_id = guide.decode("latin-1")
+    pattern = guide + b"AGG"
+    return levenshtein_automaton(
+        pattern, distance + 1, pattern_id=guide_id, name=f"cas-ot-{len(guide)}"
+    )
+
+
+def generate_guides(count: int = 2000, *, seed: int = 0) -> list[bytes]:
+    """``count`` random 20bp guide RNA sequences (the paper's problem size)."""
+    return random_dna_patterns(count, GUIDE_LENGTH, seed=seed)

@@ -1,0 +1,132 @@
+"""Mesh automata: Hamming and Levenshtein string-scoring filters.
+
+Section X of the paper: mesh automata "positionally encode scores according
+to whether or not the input string matches or does not match an encoded
+pattern string".  Both families are parameterised by pattern length ``l``
+and score threshold ``d``; a benchmark bundles ``N`` filters.
+
+Semantics (validated against the :mod:`repro.baselines.matchers` oracles):
+
+* Hamming(P, d) reports at offset ``t`` iff the window ``data[t-l+1 .. t]``
+  differs from ``P`` in at most ``d`` positions.
+* Levenshtein(P, d) reports at offset ``t`` iff some substring ending at
+  ``t`` is within edit distance ``d`` of ``P`` (Sellers semantics — the
+  same stream the CPU-native Myers matcher produces).
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import Automaton
+from repro.core.charset import ALL_BYTES, CharSet
+from repro.core.elements import StartMode
+from repro.core.nfa import NFA
+
+__all__ = ["hamming_automaton", "levenshtein_automaton"]
+
+
+def hamming_automaton(
+    pattern: bytes, d: int, *, pattern_id: object = None, name: str | None = None
+) -> Automaton:
+    """Build a homogeneous Hamming-distance mesh filter.
+
+    The mesh has two state families per position: ``m{i}e{e}`` ("position i
+    matched, e mismatches so far", charset {P[i]}) and ``x{i}e{e}``
+    ("position i mismatched", complement charset).  All final-column states
+    report with ``(pattern_id, e)`` so score read-out stays interpretable.
+    """
+    l = len(pattern)
+    if l == 0:
+        raise ValueError("pattern must be non-empty")
+    if d < 0:
+        raise ValueError("distance must be >= 0")
+    if pattern_id is None:
+        pattern_id = pattern.decode("latin-1")
+    automaton = Automaton(name if name is not None else f"hamming-{l}x{d}")
+
+    def add_state(kind: str, i: int, e: int) -> str:
+        ident = f"{kind}{i}e{e}"
+        charset = CharSet.single(pattern[i])
+        if kind == "x":
+            charset = ~charset
+        automaton.add_ste(
+            ident,
+            charset,
+            start=StartMode.ALL_INPUT if i == 0 else StartMode.NONE,
+            report=i == l - 1,
+            report_code=(pattern_id, e) if i == l - 1 else None,
+        )
+        return ident
+
+    # m(i, e): position i matched, e total mismatches (e <= min(i, d)).
+    # x(i, e): position i mismatched, e total mismatches (1 <= e <= min(i+1, d)).
+    for i in range(l):
+        for e in range(0, min(i, d) + 1):
+            add_state("m", i, e)
+        for e in range(1, min(i + 1, d) + 1):
+            add_state("x", i, e)
+    for i in range(l - 1):
+        for e in range(0, min(i, d) + 1):
+            automaton.add_edge(f"m{i}e{e}", f"m{i + 1}e{e}")
+            if e + 1 <= d:
+                automaton.add_edge(f"m{i}e{e}", f"x{i + 1}e{e + 1}")
+        for e in range(1, min(i + 1, d) + 1):
+            automaton.add_edge(f"x{i}e{e}", f"m{i + 1}e{e}")
+            if e + 1 <= d:
+                automaton.add_edge(f"x{i}e{e}", f"x{i + 1}e{e + 1}")
+    return automaton
+
+
+def levenshtein_automaton(
+    pattern: bytes, d: int, *, pattern_id: object = None, name: str | None = None
+) -> Automaton:
+    """Build a homogeneous Levenshtein (edit-distance) mesh filter.
+
+    Constructed as the classical (i, e) NFA — match / substitute / insert
+    consume a symbol, delete is an epsilon folded into transition closures —
+    then homogenised.  Requires ``len(pattern) > d`` (otherwise the empty
+    string matches and the filter is meaningless).
+    """
+    l = len(pattern)
+    if l == 0:
+        raise ValueError("pattern must be non-empty")
+    if not l > d:
+        raise ValueError(f"need pattern length > distance, got l={l}, d={d}")
+    if pattern_id is None:
+        pattern_id = pattern.decode("latin-1")
+
+    nfa = NFA(name if name is not None else f"levenshtein-{l}x{d}")
+    for i in range(l + 1):
+        for e in range(d + 1):
+            nfa.add_state(
+                (i, e),
+                # Deletion-closure of the (0,0) start: (k, k) for k <= d.
+                start_all=(i == e),
+                accept=i == l,
+                report_code=(pattern_id, e) if i == l else None,
+            )
+
+    def deletion_closure(i: int, e: int):
+        """(i, e) plus everything reachable by deletions (epsilon)."""
+        k = 0
+        while i + k <= l and e + k <= d:
+            yield (i + k, e + k)
+            k += 1
+
+    for i in range(l + 1):
+        for e in range(d + 1):
+            targets: dict[tuple[int, int], CharSet] = {}
+
+            def add(charset: CharSet, base_i: int, base_e: int):
+                for state in deletion_closure(base_i, base_e):
+                    targets[state] = targets.get(state, CharSet.none()) | charset
+
+            if i < l:
+                add(CharSet.single(pattern[i]), i + 1, e)  # match
+                if e < d:
+                    add(ALL_BYTES, i + 1, e + 1)  # substitution
+            if e < d:
+                add(ALL_BYTES, i, e + 1)  # insertion
+            for state, charset in targets.items():
+                nfa.add_transition((i, e), charset, state)
+
+    return nfa.to_homogeneous(nfa.name)

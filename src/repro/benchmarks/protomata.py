@@ -1,0 +1,129 @@
+"""The Protomata benchmark: PROSITE motif search over protein sequences.
+
+The paper's point for this domain (Section IV): the application is a
+*fixed, canonical* workload — the 1,309 PROSITE motifs — so the benchmark
+uses exactly those rules with no synthetic inflation.  We generate a
+PROSITE-syntax motif database of the same canonical size and a protein
+database stimulus with motif instances planted at known locations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+from repro.prosite.parser import AMINO_ACIDS, prosite_to_regex
+from repro.regex.compile import compile_ruleset
+
+__all__ = [
+    "CANONICAL_MOTIF_COUNT",
+    "generate_motifs",
+    "generate_proteome",
+    "materialize_motif",
+    "build_protomata_benchmark",
+    "ProtomataBenchmark",
+]
+
+#: The fixed PROSITE database size the paper uses.
+CANONICAL_MOTIF_COUNT = 1309
+
+
+def generate_motifs(count: int = CANONICAL_MOTIF_COUNT, *, seed: int = 0) -> list[str]:
+    """``count`` synthetic PROSITE-syntax motifs.
+
+    Element mix modelled on real PROSITE entries: mostly exact residues,
+    with wildcard gaps, residue sets, and occasional negated sets.
+    """
+    rng = random.Random(seed)
+    motifs = []
+    for _ in range(count):
+        n_elements = rng.randint(6, 16)
+        parts = []
+        for _ in range(n_elements):
+            roll = rng.random()
+            if roll < 0.55:
+                parts.append(rng.choice(AMINO_ACIDS))
+            elif roll < 0.75:
+                if rng.random() < 0.5:
+                    parts.append(f"x({rng.randint(1, 4)})")
+                else:
+                    parts.append("x")
+            elif roll < 0.92:
+                size = rng.randint(2, 4)
+                parts.append("[" + "".join(rng.sample(AMINO_ACIDS, size)) + "]")
+            else:
+                size = rng.randint(1, 3)
+                parts.append("{" + "".join(rng.sample(AMINO_ACIDS, size)) + "}")
+        motifs.append("-".join(parts) + ".")
+    return motifs
+
+
+def materialize_motif(motif: str, *, seed: int = 0) -> bytes:
+    """A concrete residue string matching ``motif`` (for planting)."""
+    from repro.prosite.parser import parse_pattern_elements
+
+    rng = random.Random(seed)
+    out = []
+    for element, lo, _hi in parse_pattern_elements(motif):
+        if element == "^":
+            continue
+        for _ in range(lo):
+            if element.startswith("["):
+                out.append(rng.choice(element[1:-1]))
+            else:
+                out.append(element)
+    return "".join(out).encode("latin-1")
+
+
+def generate_proteome(
+    n_residues: int = 50_000,
+    *,
+    seed: int = 0,
+    planted: list[bytes] | None = None,
+) -> bytes:
+    """A synthetic protein sequence stream with optional planted motifs."""
+    rng = random.Random(seed)
+    body = bytearray(
+        ord(rng.choice(AMINO_ACIDS)) for _ in range(n_residues)
+    )
+    for index, fragment in enumerate(planted or []):
+        if len(fragment) >= n_residues:
+            raise ValueError("planted fragment longer than the proteome")
+        position = rng.randrange(0, n_residues - len(fragment))
+        body[position : position + len(fragment)] = fragment
+    return bytes(body)
+
+
+@dataclass
+class ProtomataBenchmark:
+    automaton: Automaton
+    motifs: list[str]
+    proteome: bytes
+    planted: list[int]  # indices of motifs embedded in the proteome
+
+
+def build_protomata_benchmark(
+    n_motifs: int = CANONICAL_MOTIF_COUNT,
+    *,
+    n_residues: int = 50_000,
+    n_planted: int = 5,
+    seed: int = 0,
+) -> ProtomataBenchmark:
+    """Generate motifs + proteome and compile the benchmark automaton."""
+    rng = random.Random(seed)
+    motifs = generate_motifs(n_motifs, seed=seed)
+    planted = rng.sample(range(len(motifs)), min(n_planted, len(motifs)))
+    fragments = [
+        materialize_motif(motifs[index], seed=seed + index) for index in planted
+    ]
+    proteome = generate_proteome(n_residues, seed=seed, planted=fragments)
+    patterns = [(index, prosite_to_regex(motif)) for index, motif in enumerate(motifs)]
+    automaton, rejected = compile_ruleset(
+        patterns, name="protomata", skip_unsupported=True
+    )
+    if rejected:
+        raise RuntimeError(f"motif generator produced uncompilable motifs: {rejected}")
+    return ProtomataBenchmark(
+        automaton=automaton, motifs=motifs, proteome=proteome, planted=planted
+    )

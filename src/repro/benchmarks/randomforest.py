@@ -1,0 +1,214 @@
+"""Random Forest benchmarks (variants A/B/C of Table II).
+
+Tracy et al.'s kernel converts a trained decision-tree ensemble to automata:
+every root-to-leaf path becomes one chain (one subgraph), the input stream
+is the quantised feature vector, and a report's code is the path's class
+label, so the automaton's report stream is a *full, interpretable
+classification kernel* — the property Section VIII exploits to compare
+against native tree inference.
+
+Encoding (our design; see DESIGN.md):
+
+* A classification input is ``DELIM`` followed by the F selected feature
+  values (quantised to 0..254) in fixed feature order.
+* A path chain is a ``DELIM``-matching all-input anchor followed by one STE
+  per feature position up to the path's last tested feature: tested
+  features carry the path's admissible value range, untested ones a
+  0..254 wildcard.  The final state reports ``(tree_id, label)``.
+
+This preserves the paper's two trade-off axes exactly: states scale with
+leaves x path depth (max_leaves), and symbols per classification — hence
+spatial-architecture runtime — scale with the feature count.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import StartMode
+from repro.engines.base import Engine
+from repro.engines.vector import VectorEngine
+from repro.ml.dataset import make_digits, select_features
+from repro.ml.forest import RandomForest
+
+__all__ = [
+    "DELIM",
+    "VARIANTS",
+    "ForestVariant",
+    "TrainedVariant",
+    "forest_to_automaton",
+    "encode_samples",
+    "classify_with_automaton",
+    "train_variant",
+]
+
+#: Vector delimiter symbol; feature values are quantised below it.
+DELIM = 255
+_WILDCARD = CharSet.from_ranges([(0, DELIM - 1)])
+
+
+@dataclass(frozen=True)
+class ForestVariant:
+    """One Table II row's hyperparameters."""
+
+    name: str
+    n_features: int
+    max_leaves: int
+    n_trees: int = 20
+
+
+#: The paper's three benchmark variants (Table II).
+VARIANTS = {
+    "A": ForestVariant("A", n_features=270, max_leaves=400),
+    "B": ForestVariant("B", n_features=200, max_leaves=400),
+    "C": ForestVariant("C", n_features=200, max_leaves=800),
+}
+
+
+def forest_to_automaton(forest: RandomForest, n_features: int) -> Automaton:
+    """Convert a trained forest into the benchmark automaton.
+
+    One chain per root-to-leaf path; ``automaton`` reports ``(tree, label)``
+    at the path's last tested feature position.
+    """
+    automaton = Automaton("random-forest")
+    for chain_index, (tree_index, path) in enumerate(forest.all_paths()):
+        bounds = path.as_dict()
+        last = max(bounds) if bounds else -1
+        prefix = f"c{chain_index}"
+        anchor = automaton.add_ste(
+            f"{prefix}.d", CharSet.single(DELIM), start=StartMode.ALL_INPUT
+        ).ident
+        previous = anchor
+        for feature in range(last + 1):
+            if feature in bounds:
+                lo, hi = bounds[feature]
+                hi = min(hi, DELIM - 1)
+                # A path requiring value > 254 is unreachable in the
+                # clipped stream; give it an unmatchable charset.
+                charset = CharSet.from_ranges([(lo, hi)]) if lo <= hi else CharSet.none()
+            else:
+                charset = _WILDCARD
+            is_last = feature == last
+            ident = automaton.add_ste(
+                f"{prefix}.f{feature}",
+                charset,
+                report=is_last,
+                report_code=(tree_index, path.label) if is_last else None,
+            ).ident
+            automaton.add_edge(previous, ident)
+            previous = ident
+        if last == -1:
+            # Degenerate single-leaf tree: report straight after the anchor.
+            automaton.add_ste(
+                f"{prefix}.any",
+                _WILDCARD,
+                report=True,
+                report_code=(tree_index, path.label),
+            )
+            automaton.add_edge(anchor, f"{prefix}.any")
+    return automaton
+
+
+def encode_samples(x: np.ndarray) -> bytes:
+    """Encode a batch of samples as the benchmark input stream."""
+    clipped = np.minimum(x, DELIM - 1).astype(np.uint8)
+    n, f = clipped.shape
+    out = np.empty((n, f + 1), dtype=np.uint8)
+    out[:, 0] = DELIM
+    out[:, 1:] = clipped
+    return out.tobytes()
+
+
+def classify_with_automaton(
+    automaton: Automaton,
+    x: np.ndarray,
+    *,
+    n_classes: int,
+    engine: Engine | None = None,
+) -> np.ndarray:
+    """Run the automaton kernel and majority-vote the reported labels.
+
+    Ties break toward the lowest label, matching ``np.argmax`` in the
+    native implementations so the two kernels are exactly comparable.
+    """
+    n, f = x.shape
+    if engine is None:
+        engine = VectorEngine(automaton)
+    result = engine.run(encode_samples(x))
+    votes: list[Counter] = [Counter() for _ in range(n)]
+    for event in result.reports:
+        sample = event.offset // (f + 1)
+        _tree, label = event.code
+        votes[sample][label] += 1
+    out = np.zeros(n, dtype=np.int64)
+    for i, counter in enumerate(votes):
+        if counter:
+            best = max(counter.values())
+            out[i] = min(label for label, c in counter.items() if c == best)
+    return out
+
+
+@dataclass
+class TrainedVariant:
+    """A trained Table II variant plus its automaton and data split."""
+
+    variant: ForestVariant
+    forest: RandomForest
+    automaton: Automaton
+    features: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    accuracy: float
+
+    @property
+    def states(self) -> int:
+        return self.automaton.n_states
+
+    @property
+    def symbols_per_classification(self) -> int:
+        """Input symbols per classification — the spatial runtime driver."""
+        return len(self.features) + 1
+
+
+def train_variant(
+    variant: ForestVariant,
+    *,
+    n_train: int = 2000,
+    n_test: int = 500,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> TrainedVariant:
+    """Train one benchmark variant end to end.
+
+    ``scale`` shrinks trees and features proportionally (floor of 10
+    features / 8 leaves) so tests and benches can run quickly while
+    preserving the A/B/C relationships.
+    """
+    n_features = max(10, int(variant.n_features * scale))
+    max_leaves = max(8, int(variant.max_leaves * scale))
+    digits = make_digits(n_train=n_train, n_test=n_test, seed=seed)
+    features = select_features(digits.train_x, digits.train_y, n_features)
+    # Clip to the encodable value range so the automaton kernel and the
+    # native kernel see byte-identical features.
+    train_x = np.minimum(digits.train_x[:, features], DELIM - 1)
+    test_x = np.minimum(digits.test_x[:, features], DELIM - 1)
+    forest = RandomForest(
+        n_trees=variant.n_trees, max_leaves=max_leaves, seed=seed
+    ).fit(train_x, digits.train_y)
+    automaton = forest_to_automaton(forest, n_features)
+    accuracy = forest.accuracy(test_x, digits.test_y)
+    return TrainedVariant(
+        variant=variant,
+        forest=forest,
+        automaton=automaton,
+        features=features,
+        test_x=test_x,
+        test_y=digits.test_y,
+        accuracy=accuracy,
+    )

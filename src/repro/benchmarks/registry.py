@@ -1,0 +1,321 @@
+"""The AutomataZoo suite registry: all 24 benchmarks behind one interface.
+
+Every builder takes ``scale`` and ``seed``.  ``scale=1.0`` reproduces the
+paper's benchmark parameters (Table I); smaller scales shrink pattern
+counts and input sizes proportionally so the whole suite can be generated
+and simulated on a laptop in minutes.  Scaling factors touch only the
+*number* of patterns/filters and input length, never the per-pattern
+construction, so per-subgraph statistics match the full-size suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.benchmarks import seqmatch
+from repro.benchmarks.apprng import build_apprng_benchmark, random_input
+from repro.benchmarks.brill import build_brill_automaton, generate_brill_rules
+from repro.benchmarks.clamav import build_clamav_benchmark
+from repro.benchmarks.crispr import cas_off_filter, cas_ot_filter, generate_guides
+from repro.benchmarks.filecarving import build_filecarving_automaton
+from repro.benchmarks.mesh import hamming_automaton, levenshtein_automaton
+from repro.benchmarks.protomata import build_protomata_benchmark
+from repro.benchmarks.randomforest import (
+    VARIANTS,
+    encode_samples,
+    train_variant,
+)
+from repro.benchmarks.snort import build_snort_automaton
+from repro.benchmarks.spec import Benchmark
+from repro.benchmarks.yara_bench import (
+    compile_yara_rules,
+    generate_malware_corpus,
+    generate_yara_ruleset,
+)
+from repro.core.automaton import Automaton
+from repro.inputs.corpus import generate_tagged_corpus
+from repro.inputs.diskimage import build_disk_image
+from repro.inputs.dna import random_dna, random_dna_patterns
+
+from repro.inputs.pcap import synthetic_pcap
+from repro.snort.ruleset_gen import generate_ruleset
+
+__all__ = ["BENCHMARK_NAMES", "build_benchmark", "build_suite"]
+
+
+def _count(base: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(base * scale)))
+
+
+# -- per-domain builders ------------------------------------------------------
+
+
+def _snort(scale: float, seed: int) -> Benchmark:
+    rules = generate_ruleset(_count(3000, scale, 20), seed=seed)
+    automaton, included, _ = build_snort_automaton(rules)
+    return Benchmark(
+        name="Snort",
+        domain="Network Intrusion Detection",
+        input_desc="PCAP file",
+        automaton=automaton,
+        input_data=synthetic_pcap(_count(2000, scale, 20), seed=seed),
+        meta={"rules": len(included)},
+    )
+
+
+def _clamav(scale: float, seed: int) -> Benchmark:
+    bench = build_clamav_benchmark(
+        _count(33_171, scale, 10), seed=seed, n_files=_count(12, max(scale, 0.25), 4)
+    )
+    return Benchmark(
+        name="ClamAV",
+        domain="Virus Detection",
+        input_desc="Disk image",
+        automaton=bench.automaton,
+        input_data=bench.image.data,
+        meta={"signatures": len(bench.signatures), "planted": bench.planted},
+    )
+
+
+def _protomata(scale: float, seed: int) -> Benchmark:
+    bench = build_protomata_benchmark(
+        _count(1309, scale, 10),
+        n_residues=_count(200_000, scale, 2_000),
+        seed=seed,
+    )
+    return Benchmark(
+        name="Protomata",
+        domain="Motif Search",
+        input_desc="Uniprot Database",
+        automaton=bench.automaton,
+        input_data=bench.proteome,
+        meta={"motifs": len(bench.motifs)},
+    )
+
+
+def _brill(scale: float, seed: int) -> Benchmark:
+    rules = generate_brill_rules(_count(5000, scale, 20), seed=seed)
+    return Benchmark(
+        name="Brill",
+        domain="Part of Speech Tagging",
+        input_desc="Brown Corpus",
+        automaton=build_brill_automaton(rules),
+        input_data=generate_tagged_corpus(_count(500_000, scale, 2_000), seed=seed),
+        meta={"rules": len(rules)},
+    )
+
+
+def _random_forest(variant_key: str) -> Callable[[float, int], Benchmark]:
+    def build(scale: float, seed: int) -> Benchmark:
+        trained = train_variant(
+            VARIANTS[variant_key],
+            n_train=_count(2000, max(scale, 0.1), 200),
+            n_test=_count(500, max(scale, 0.1), 50),
+            seed=seed,
+            scale=max(scale, 0.05),
+        )
+        return Benchmark(
+            name=f"Random Forest {variant_key}",
+            domain="Machine Learning",
+            input_desc="Custom",
+            automaton=trained.automaton,
+            input_data=encode_samples(trained.test_x),
+            meta={
+                "accuracy": trained.accuracy,
+                "features": len(trained.features),
+                "symbols_per_classification": trained.symbols_per_classification,
+            },
+        )
+
+    return build
+
+
+def _mesh(kernel: str, l: int, d: int) -> Callable[[float, int], Benchmark]:
+    def build(scale: float, seed: int) -> Benchmark:
+        n_filters = _count(1000, scale, 5)
+        patterns = random_dna_patterns(n_filters, l, seed=seed)
+        union = Automaton(f"{kernel}-{l}x{d}")
+        builder = hamming_automaton if kernel == "Hamming" else levenshtein_automaton
+        for index, pattern in enumerate(patterns):
+            union.merge(
+                builder(pattern, d, pattern_id=index), prefix=f"f{index}."
+            )
+        return Benchmark(
+            name=f"{kernel} {l}x{d}",
+            domain="String Similarity",
+            input_desc="Random DNA",
+            automaton=union,
+            input_data=random_dna(_count(1_000_000, scale, 5_000), seed=seed + 1),
+            meta={"filters": n_filters, "l": l, "d": d},
+        )
+
+    return build
+
+
+def _seqmatch(p: int, with_counter: bool) -> Callable[[float, int], Benchmark]:
+    def build(scale: float, seed: int) -> Benchmark:
+        n_patterns = _count(1719, scale, 5)
+        patterns = seqmatch.generate_patterns(n_patterns, p=p, w=6, seed=seed)
+        union = Automaton(f"seqmatch-6w{p}p{'-wC' if with_counter else ''}")
+        for index, pattern in enumerate(patterns):
+            union.merge(
+                seqmatch.sequence_pattern_automaton(
+                    pattern,
+                    pattern_id=index,
+                    with_counter=with_counter,
+                    min_support=2,
+                ),
+                prefix=f"p{index}.",
+            )
+        database = seqmatch.generate_database(_count(5_000, scale, 50), seed=seed + 1)
+        suffix = " wC" if with_counter else ""
+        return Benchmark(
+            name=f"Seq. Match 6w {p}p{suffix}",
+            domain="Ordered Pattern Counting",
+            input_desc="Custom",
+            automaton=union,
+            input_data=seqmatch.encode_database(database),
+            meta={"patterns": n_patterns, "counters": with_counter},
+        )
+
+    return build
+
+
+def _entity(scale: float, seed: int) -> Benchmark:
+    from repro.benchmarks.entity import build_entity_benchmark
+
+    bench = build_entity_benchmark(
+        n_names=_count(10_000, scale, 10),
+        n_records=_count(100_000, scale, 100),
+        seed=seed,
+    )
+    return Benchmark(
+        name="Entity Resolution",
+        domain="Duplicate entry identification",
+        input_desc="100k names",
+        automaton=bench.automaton,
+        input_data=bench.stream,
+        meta={"names": len(bench.names), "duplicates": len(bench.duplicates)},
+    )
+
+
+def _crispr(style: str) -> Callable[[float, int], Benchmark]:
+    def build(scale: float, seed: int) -> Benchmark:
+        guides = generate_guides(_count(2000, scale, 5), seed=seed)
+        union = Automaton(f"crispr-{style}")
+        for index, guide in enumerate(guides):
+            if style == "OFF":
+                sub = cas_off_filter(guide, 3, guide_id=index)
+            else:
+                sub = cas_ot_filter(guide, 2, guide_id=index)
+            union.merge(sub, prefix=f"g{index}.")
+        return Benchmark(
+            name=f"CRISPR Cas{'Offinder' if style == 'OFF' else 'OT'}",
+            domain="DNA pattern search",
+            input_desc="DNA",
+            automaton=union,
+            input_data=random_dna(_count(500_000, scale, 5_000), seed=seed + 1),
+            meta={"filters": len(guides), "style": style},
+        )
+
+    return build
+
+
+def _yara(wide: bool) -> Callable[[float, int], Benchmark]:
+    def build(scale: float, seed: int) -> Benchmark:
+        rules = generate_yara_ruleset(_count(10_000, scale, 10), seed=seed)
+        automaton, _ = compile_yara_rules(rules, wide=wide)
+        corpus, planted = generate_malware_corpus(
+            rules, n_files=_count(40, scale, 3), seed=seed + 1, wide=wide
+        )
+        return Benchmark(
+            name="YARA Wide" if wide else "YARA",
+            domain="Malware pattern search",
+            input_desc="Malware files",
+            automaton=automaton,
+            input_data=corpus,
+            meta={"rules": len(rules), "planted": sorted(planted)},
+        )
+
+    return build
+
+
+def _filecarving(scale: float, seed: int) -> Benchmark:
+    kinds = ["zip", "mpeg2", "mp4", "jpeg", "text", "png"] * _count(4, scale, 1)
+    image = build_disk_image(kinds, seed=seed)
+    return Benchmark(
+        name="File Carving",
+        domain="File metadata search",
+        input_desc="Multi-media files",
+        automaton=build_filecarving_automaton(),
+        input_data=image.data,
+        meta={"files": len(kinds)},
+    )
+
+
+def _apprng(n_faces: int) -> Callable[[float, int], Benchmark]:
+    def build(scale: float, seed: int) -> Benchmark:
+        n_chains = _count(1000, scale, 5)
+        return Benchmark(
+            name=f"AP PRNG {n_faces}-sided",
+            domain="Pseudo-random number generation",
+            input_desc="Pseudo-random bytes",
+            automaton=build_apprng_benchmark(n_faces, n_chains, seed=seed),
+            input_data=random_input(_count(100_000, scale, 2_000), seed=seed + 1),
+            compressible=False,
+            meta={"chains": n_chains},
+        )
+
+    return build
+
+
+_BUILDERS: dict[str, Callable[[float, int], Benchmark]] = {
+    "Snort": _snort,
+    "ClamAV": _clamav,
+    "Protomata": _protomata,
+    "Brill": _brill,
+    "Random Forest A": _random_forest("A"),
+    "Random Forest B": _random_forest("B"),
+    "Random Forest C": _random_forest("C"),
+    "Hamming 18x3": _mesh("Hamming", 18, 3),
+    "Hamming 22x5": _mesh("Hamming", 22, 5),
+    "Hamming 31x10": _mesh("Hamming", 31, 10),
+    "Levenshtein 19x3": _mesh("Levenshtein", 19, 3),
+    "Levenshtein 24x5": _mesh("Levenshtein", 24, 5),
+    "Levenshtein 37x10": _mesh("Levenshtein", 37, 10),
+    "Seq. Match 6w 6p": _seqmatch(6, False),
+    "Seq. Match 6w 6p wC": _seqmatch(6, True),
+    "Seq. Match 6w 10p": _seqmatch(10, False),
+    "Seq. Match 6w 10p wC": _seqmatch(10, True),
+    "Entity Resolution": _entity,
+    "CRISPR CasOffinder": _crispr("OFF"),
+    "CRISPR CasOT": _crispr("OT"),
+    "YARA": _yara(False),
+    "YARA Wide": _yara(True),
+    "File Carving": _filecarving,
+    "AP PRNG 4-sided": _apprng(4),
+    "AP PRNG 8-sided": _apprng(8),
+}
+
+#: The 24 paper benchmarks plus the extra AP PRNG variant row, in Table I
+#: order (the paper counts AP PRNG's two variants as one benchmark slot).
+BENCHMARK_NAMES: tuple[str, ...] = tuple(_BUILDERS)
+
+
+def build_benchmark(name: str, *, scale: float = 1.0, seed: int = 0) -> Benchmark:
+    """Build one benchmark by its Table I name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {list(_BUILDERS)}"
+        ) from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return builder(scale, seed)
+
+
+def build_suite(*, scale: float = 1.0, seed: int = 0, names=None) -> list[Benchmark]:
+    """Build the whole suite (or a subset) at one scale."""
+    selected = list(names) if names is not None else list(BENCHMARK_NAMES)
+    return [build_benchmark(name, scale=scale, seed=seed) for name in selected]

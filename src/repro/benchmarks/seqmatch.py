@@ -1,0 +1,253 @@
+"""Sequence Matching (sequential pattern mining) benchmarks.
+
+The kernel (Wang et al., CF'16): count how many database *sequences*
+contain a candidate sequential pattern — an ordered list of itemsets, each
+of which must be a subset of some itemset of the sequence, in order.  The
+paper ships four variants: pattern lengths p ∈ {6, 10} itemsets of width
+up to w = 6, each with and without counter elements ("wC"), plus the
+Table III padded variant that models AP soft-reconfiguration filters built
+for width 10 but configured for width 6.
+
+Stream encoding: items are symbols 1..250 sorted ascending within an
+itemset, itemsets end with :data:`SET_SEP`, sequences end with
+:data:`TXN_SEP`.  A filter reports at the sequence separator, so reports
+count *sequences containing the pattern* (support), keeping the kernel
+interpretable end-to-end; the wC variant instead feeds a counter that
+reports only when support reaches a threshold, reproducing the reduced
+reporting behaviour the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import CounterMode, StartMode
+
+__all__ = [
+    "ITEM_MIN",
+    "ITEM_MAX",
+    "SET_SEP",
+    "TXN_SEP",
+    "PAD",
+    "sequence_pattern_automaton",
+    "encode_database",
+    "generate_database",
+    "generate_patterns",
+    "pattern_supported",
+    "count_support",
+]
+
+ITEM_MIN = 1
+ITEM_MAX = 250
+SET_SEP = 254
+TXN_SEP = 255
+#: Symbol reserved for AP-padding states; never emitted by input generators.
+PAD = 253
+
+_ITEMS = CharSet.from_ranges([(ITEM_MIN, ITEM_MAX)])
+_ITEMS_AND_SET_SEP = _ITEMS | CharSet.single(SET_SEP)
+
+
+def _validate_pattern(pattern: list[list[int]]) -> None:
+    if not pattern:
+        raise ValueError("pattern must contain at least one itemset")
+    for itemset in pattern:
+        if not itemset:
+            raise ValueError("itemsets must be non-empty")
+        if sorted(set(itemset)) != list(itemset):
+            raise ValueError(f"itemset must be strictly ascending: {itemset}")
+        if itemset[0] < ITEM_MIN or itemset[-1] > ITEM_MAX:
+            raise ValueError(f"items must be in [{ITEM_MIN}, {ITEM_MAX}]")
+
+
+def sequence_pattern_automaton(
+    pattern: list[list[int]],
+    *,
+    pattern_id: object = None,
+    with_counter: bool = False,
+    min_support: int = 2,
+    pad_to_width: int | None = None,
+) -> Automaton:
+    """Build the filter automaton for one sequential pattern.
+
+    Structure per itemset block {a1 < ... < ak}: item states ``A_r``
+    (charset {a_r}) chained with self-looping skip states ``K_r`` (items
+    only, so crossing a :data:`SET_SEP` kills the partial match — subsets
+    must match within one itemset).  Blocks are joined through a mandatory
+    separator state and a self-looping gap state, enforcing strictly
+    increasing itemset indices.  A completed pattern waits for the sequence
+    separator and reports there (or feeds a counter when ``with_counter``).
+
+    ``pad_to_width`` models the AP soft-reconfiguration filters of
+    Section VII: blocks are built with that many item slots and the unused
+    slots become :data:`PAD`-matching states that are enabled by the
+    block's live states but never match — no computation, extra activity.
+    """
+    _validate_pattern(pattern)
+    if pad_to_width is not None and pad_to_width < max(len(s) for s in pattern):
+        raise ValueError("pad_to_width must be >= the widest itemset")
+    if pattern_id is None:
+        pattern_id = tuple(tuple(s) for s in pattern)
+
+    automaton = Automaton(f"seqmatch-{len(pattern)}sets")
+    previous_exit: str | None = None  # state whose match completes block j-1
+
+    for j, itemset in enumerate(pattern):
+        block = f"b{j}"
+        entry_sources: list[str] = []
+        if j == 0:
+            pass  # first item state is ALL_INPUT
+        else:
+            # Skip the rest of the current itemset, cross a mandatory
+            # separator, then optionally skip whole itemsets (gap).
+            pre = automaton.add_ste(f"{block}.pre", _ITEMS).ident
+            sep = automaton.add_ste(f"{block}.sep", CharSet.single(SET_SEP)).ident
+            gap = automaton.add_ste(f"{block}.gap", _ITEMS_AND_SET_SEP).ident
+            automaton.add_edge(previous_exit, pre)
+            automaton.add_edge(pre, pre)
+            automaton.add_edge(pre, sep)
+            automaton.add_edge(previous_exit, sep)
+            automaton.add_edge(sep, gap)
+            automaton.add_edge(gap, gap)
+            entry_sources = [sep, gap]
+
+        prev_item: str | None = None
+        for r, item in enumerate(itemset):
+            ident = automaton.add_ste(
+                f"{block}.a{r}",
+                CharSet.single(item),
+                start=StartMode.ALL_INPUT if j == 0 and r == 0 else StartMode.NONE,
+            ).ident
+            if r == 0:
+                for src in entry_sources:
+                    automaton.add_edge(src, ident)
+            else:
+                skip = automaton.add_ste(f"{block}.k{r - 1}", _ITEMS).ident
+                automaton.add_edge(prev_item, skip)
+                automaton.add_edge(skip, skip)
+                automaton.add_edge(skip, ident)
+                automaton.add_edge(prev_item, ident)
+            prev_item = ident
+        previous_exit = prev_item
+
+        if pad_to_width is not None:
+            # Unused slots: dead-end PAD states fed by the block's
+            # high-traffic states, mimicking soft-reconfigured AP filters.
+            feeders = [f"{block}.gap"] if j > 0 else []
+            feeders += [
+                f"{block}.k{r}" for r in range(len(itemset) - 1)
+            ] + [prev_item]
+            for slot in range(len(itemset), pad_to_width):
+                pad = automaton.add_ste(f"{block}.pad{slot}", CharSet.single(PAD)).ident
+                automaton.add_edge(feeders[slot % len(feeders)], pad)
+
+    # Completed pattern: wait for the sequence separator, report there.
+    wait = automaton.add_ste("wait", _ITEMS_AND_SET_SEP).ident
+    automaton.add_edge(previous_exit, wait)
+    automaton.add_edge(wait, wait)
+    if with_counter:
+        end = automaton.add_ste("end", CharSet.single(TXN_SEP)).ident
+        automaton.add_edge(previous_exit, end)
+        automaton.add_edge(wait, end)
+        automaton.add_counter(
+            "support",
+            min_support,
+            mode=CounterMode.STOP,
+            report=True,
+            report_code=pattern_id,
+        )
+        automaton.add_edge(end, "support")
+    else:
+        end = automaton.add_ste(
+            "end", CharSet.single(TXN_SEP), report=True, report_code=pattern_id
+        ).ident
+        automaton.add_edge(previous_exit, end)
+        automaton.add_edge(wait, end)
+    return automaton
+
+
+# -- database generation and the reference kernel ---------------------------
+
+
+def generate_database(
+    n_sequences: int,
+    *,
+    n_items: int = 48,
+    sets_per_sequence: tuple[int, int] = (4, 12),
+    items_per_set: tuple[int, int] = (1, 8),
+    seed: int = 0,
+) -> list[list[list[int]]]:
+    """A synthetic transaction database with a Zipf-ish item distribution."""
+    if n_items > ITEM_MAX - ITEM_MIN + 1:
+        raise ValueError("item universe exceeds the symbol range")
+    rng = random.Random(seed)
+    universe = list(range(ITEM_MIN, ITEM_MIN + n_items))
+    weights = [1.0 / (rank + 1) for rank in range(n_items)]
+    database = []
+    for _ in range(n_sequences):
+        sequence = []
+        for _ in range(rng.randint(*sets_per_sequence)):
+            size = min(rng.randint(*items_per_set), n_items)
+            itemset = sorted(set(rng.choices(universe, weights=weights, k=size)))
+            sequence.append(itemset)
+        database.append(sequence)
+    return database
+
+
+def encode_database(database: list[list[list[int]]]) -> bytes:
+    """Encode a database as the benchmark's input byte stream."""
+    out = bytearray()
+    for sequence in database:
+        for j, itemset in enumerate(sequence):
+            if j > 0:
+                out.append(SET_SEP)
+            out.extend(itemset)
+        out.append(TXN_SEP)
+    return bytes(out)
+
+
+def generate_patterns(
+    count: int,
+    *,
+    p: int = 6,
+    w: int = 6,
+    n_items: int = 48,
+    seed: int = 0,
+) -> list[list[list[int]]]:
+    """``count`` candidate patterns of ``p`` itemsets, each of width <= w.
+
+    Items are drawn with the same skew as the database generator so a
+    realistic fraction of candidates actually occur.
+    """
+    rng = random.Random(seed + 7)
+    universe = list(range(ITEM_MIN, ITEM_MIN + n_items))
+    weights = [1.0 / (rank + 1) for rank in range(n_items)]
+    patterns = []
+    for _ in range(count):
+        pattern = []
+        for _ in range(p):
+            size = rng.randint(1, w)
+            itemset = sorted(set(rng.choices(universe, weights=weights, k=size)))
+            pattern.append(itemset)
+        patterns.append(pattern)
+    return patterns
+
+
+def pattern_supported(pattern: list[list[int]], sequence: list[list[int]]) -> bool:
+    """Reference kernel: is the pattern contained in the sequence?"""
+    position = 0
+    for itemset in pattern:
+        needed = set(itemset)
+        while position < len(sequence) and not needed.issubset(sequence[position]):
+            position += 1
+        if position == len(sequence):
+            return False
+        position += 1
+    return True
+
+
+def count_support(pattern: list[list[int]], database: list[list[list[int]]]) -> int:
+    """Number of database sequences containing the pattern."""
+    return sum(1 for sequence in database if pattern_supported(pattern, sequence))

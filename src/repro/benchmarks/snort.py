@@ -1,0 +1,133 @@
+"""The Snort benchmark (Section IV) and the Section V rate experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+from repro.regex.compile import compile_ruleset
+from repro.snort.rules import SnortRule
+from repro.stats.dynamic import DynamicStats, measure_dynamic
+
+__all__ = [
+    "Section5Stage",
+    "build_snort_automaton",
+    "evaluate_rules",
+    "section5_experiment",
+]
+
+
+def build_snort_automaton(
+    rules: list[SnortRule],
+    *,
+    exclude_modifier_rules: bool = True,
+    exclude_isdataat_rules: bool = True,
+) -> tuple[Automaton, list[SnortRule], list[tuple[object, str]]]:
+    """Compile a ruleset into the benchmark automaton.
+
+    Follows the paper's construction: every rule's pcre that the toolchain
+    can compile is included (unsupported patterns like back-references are
+    skipped and returned), with the Section V exclusions applied by
+    default.  Returns ``(automaton, included_rules, rejected)``.
+    """
+    included = [
+        rule
+        for rule in rules
+        if not (exclude_modifier_rules and rule.has_snort_modifiers)
+        and not (exclude_isdataat_rules and rule.has_isdataat)
+    ]
+    patterns = [
+        (rule.sid, f"/{rule.pcre}/{rule.standard_flags}") for rule in included
+    ]
+    automaton, rejected = compile_ruleset(patterns, name="snort", skip_unsupported=True)
+    rejected_sids = {code for code, _ in rejected}
+    included = [rule for rule in included if rule.sid not in rejected_sids]
+    return automaton, included, rejected
+
+
+@dataclass(frozen=True)
+class Section5Stage:
+    """One row of the Section V report-rate experiment."""
+
+    name: str
+    n_rules: int
+    stats: DynamicStats
+
+    @property
+    def reports_per_symbol(self) -> float:
+        return self.stats.reports_per_symbol
+
+    @property
+    def reporting_byte_fraction(self) -> float:
+        return self.stats.reporting_byte_fraction
+
+
+def evaluate_rules(
+    rules: list[SnortRule],
+    packets: list[bytes],
+) -> dict[int, list[int]]:
+    """Full per-packet Snort kernel: ``sid -> packet indices alerted``.
+
+    A rule alerts on a packet iff its pcre matches the payload AND every
+    ``content`` literal occurs in it — the rule-level semantics a
+    whole-stream automata benchmark approximates.  Content literals are
+    checked with one shared Aho–Corasick pass; pcres with the compiled
+    benchmark automaton, per packet.
+    """
+    from repro.baselines.aho_corasick import AhoCorasick
+    from repro.engines.vector import VectorEngine
+
+    automaton, included, _ = build_snort_automaton(
+        rules, exclude_modifier_rules=True, exclude_isdataat_rules=True
+    )
+    engine = VectorEngine(automaton)
+
+    content_index: list[tuple[bytes, int, int]] = []  # (literal, rule_pos, k)
+    literals: list[bytes] = []
+    for position, rule in enumerate(included):
+        for literal in rule.contents:
+            literals.append(literal)
+            content_index.append((literal, position, len(literals) - 1))
+    matcher = AhoCorasick(literals) if literals else None
+    literal_rule = [position for _lit, position, _k in content_index]
+
+    alerts: dict[int, list[int]] = {}
+    for packet_index, payload in enumerate(packets):
+        pcre_hits = {event.code for event in engine.run(payload).reports}
+        content_hits: dict[int, set[int]] = {}
+        if matcher is not None:
+            for _offset, literal_index in matcher.search(payload):
+                rule_position = literal_rule[literal_index]
+                content_hits.setdefault(rule_position, set()).add(literal_index)
+        for position, rule in enumerate(included):
+            if rule.sid not in pcre_hits:
+                continue
+            needed = sum(1 for _l, p, _k in content_index if p == position)
+            have = len(content_hits.get(position, ()))
+            if have == needed:
+                alerts.setdefault(rule.sid, []).append(packet_index)
+    return alerts
+
+
+def section5_experiment(rules: list[SnortRule], data: bytes) -> list[Section5Stage]:
+    """Reproduce Section V: measure report rates at the three filter stages.
+
+    Stage 1: all compilable rules (ANMLZoo's approach).
+    Stage 2: drop rules with Snort-specific pcre modifiers (paper: ~5x).
+    Stage 3: additionally drop ``isdataat`` rules (paper: further ~2x).
+    """
+    stages = []
+    for name, kwargs in [
+        ("all rules", dict(exclude_modifier_rules=False, exclude_isdataat_rules=False)),
+        ("no modifier rules", dict(exclude_modifier_rules=True, exclude_isdataat_rules=False)),
+        ("no modifier/isdataat", dict(exclude_modifier_rules=True, exclude_isdataat_rules=True)),
+    ]:
+        automaton, included, _ = build_snort_automaton(rules, **kwargs)
+        stages.append(
+            Section5Stage(
+                name=name,
+                n_rules=len(included),
+                stats=measure_dynamic(automaton, data),
+            )
+        )
+    return stages

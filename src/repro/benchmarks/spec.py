@@ -1,0 +1,37 @@
+"""The benchmark bundle type shared by the suite registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.automaton import Automaton
+
+__all__ = ["Benchmark"]
+
+
+@dataclass
+class Benchmark:
+    """One AutomataZoo benchmark: automaton + standard input + metadata.
+
+    ``compressible`` mirrors Table I's "NA" entries: AP PRNG is excluded
+    from prefix-merge statistics because merging probability-slice states
+    would change its statistical behaviour.
+    """
+
+    name: str
+    domain: str
+    input_desc: str
+    automaton: Automaton
+    input_data: bytes
+    compressible: bool = True
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def states(self) -> int:
+        return self.automaton.n_states
+
+    def __repr__(self) -> str:
+        return (
+            f"Benchmark({self.name!r}, states={self.states:,}, "
+            f"input={len(self.input_data):,}B)"
+        )

@@ -1,0 +1,142 @@
+"""ANMLZoo-style spatial standardization (for studying its drawbacks).
+
+ANMLZoo sized every benchmark to exactly one Micron D480 chip, cutting
+down over-capacity applications ("generated full decision tree models ...
+and then removed tree paths until the automata could be placed-and-routed
+using a single AP chip", Section VIII) and inflating under-capacity ones
+with synthetic patterns (Protomata, Section II-D).  AutomataZoo argues both
+operations damage the benchmark; this module implements the *methodology*
+so the damage can be measured:
+
+* :func:`cut_down` — drop whole connected components until the automaton
+  fits a state budget (the ANMLZoo trimming operation);
+* :func:`inflate` — pad with synthetic copies of existing components until
+  a budget is (approximately) filled (the ANMLZoo inflating operation).
+
+The cut-down ablation quantifies Section VIII: a trimmed Random Forest
+benchmark no longer computes the trained model, so its classifications
+diverge from (and score below) the full kernel's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+
+__all__ = ["StandardizationResult", "cut_down", "inflate"]
+
+
+@dataclass
+class StandardizationResult:
+    """Outcome of a spatial-standardization operation."""
+
+    automaton: Automaton
+    states_before: int
+    states_after: int
+    components_before: int
+    components_after: int
+
+    @property
+    def size_ratio(self) -> float:
+        """after / before — Table I's "Size vs ANMLZoo" flavour of ratio."""
+        if self.states_before == 0:
+            return 1.0
+        return self.states_after / self.states_before
+
+
+def cut_down(
+    automaton: Automaton,
+    capacity: int,
+    *,
+    seed: int = 0,
+) -> StandardizationResult:
+    """Drop whole components (in random order) until ``capacity`` fits.
+
+    Components are never split — the AP places whole connected automata —
+    so the result is a valid but *incomplete* version of the application.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    components = automaton.connected_components()
+    rng = random.Random(seed)
+    order = list(range(len(components)))
+    rng.shuffle(order)
+
+    kept: list[set[str]] = []
+    used = 0
+    for index in order:
+        size = len(components[index])
+        if used + size <= capacity:
+            kept.append(components[index])
+            used += size
+    keep_idents = set().union(*kept) if kept else set()
+
+    trimmed = automaton.clone(f"{automaton.name}.cutdown")
+    for ident in list(trimmed.idents()):
+        if ident not in keep_idents:
+            trimmed.remove_element(ident)
+    return StandardizationResult(
+        automaton=trimmed,
+        states_before=automaton.n_states,
+        states_after=trimmed.n_states,
+        components_before=len(components),
+        components_after=len(kept),
+    )
+
+
+def inflate(
+    automaton: Automaton,
+    capacity: int,
+    *,
+    seed: int = 0,
+) -> StandardizationResult:
+    """Pad with cloned components until ``capacity`` is nearly filled.
+
+    The clones are marked ``synthetic`` in their report codes' place (their
+    reports are disabled) so they add spatial load without changing the
+    kernel's output — mirroring ANMLZoo's synthetic Protomata rules, which
+    match no real motifs but occupy the fabric.
+    """
+    if automaton.n_states > capacity:
+        raise ValueError("automaton already exceeds the capacity; cut_down instead")
+    components_before = len(automaton.connected_components())
+    inflated = automaton.clone(f"{automaton.name}.inflated")
+    rng = random.Random(seed)
+    donors = automaton.connected_components()
+    copy_index = 0
+    while donors:
+        donor = donors[rng.randrange(len(donors))]
+        if inflated.n_states + len(donor) > capacity:
+            break
+        sub = Automaton("donor")
+        ident_map = {}
+        for ident in donor:
+            element = automaton[ident]
+            ident_map[ident] = ident
+        # materialise the donor component as its own automaton
+        piece = Automaton("piece")
+        for ident in donor:
+            element = automaton[ident]
+            from repro.core.automaton import _clone_element
+
+            clone = _clone_element(element, ident)
+            clone.report = False
+            clone.report_code = None
+            piece.add_element(clone)
+        for src, dst in automaton.edges():
+            if src in donor and dst in donor:
+                piece.add_edge(src, dst)
+        for src, counter in automaton.reset_edges():
+            if src in donor and counter in donor:
+                piece.add_reset_edge(src, counter)
+        inflated.merge(piece, prefix=f"synthetic{copy_index}.")
+        copy_index += 1
+    return StandardizationResult(
+        automaton=inflated,
+        states_before=automaton.n_states,
+        states_after=inflated.n_states,
+        components_before=components_before,
+        components_after=len(inflated.connected_components()),
+    )

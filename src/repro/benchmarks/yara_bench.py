@@ -1,0 +1,251 @@
+"""The YARA and YARA Wide benchmarks (Sections IV and IX-A).
+
+Pipeline (mirroring the paper's plyara + pcre2mnrl + VASim flow): parse
+YARA rules, convert hex strings (nibble wildcards, jumps, alternation) and
+text strings to regexes, compile everything into one automaton whose report
+codes are ``(rule, string_id)`` pairs — so rule conditions can be evaluated
+from the report stream, keeping the kernel end-to-end interpretable.  The
+Wide variant applies the widening transformation to rules marked ``wide``.
+"""
+
+from __future__ import annotations
+
+import random
+import re as _re
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+from repro.engines.base import Engine
+from repro.engines.vector import VectorEngine
+from repro.errors import RegexError
+from repro.regex.compile import compile_regex
+from repro.transforms.widening import widen
+from repro.yara.hexstring import hex_string_to_regex
+from repro.yara.parser import YaraRule, YaraString, evaluate_condition
+
+__all__ = [
+    "string_to_regex",
+    "compile_yara_rules",
+    "scan",
+    "generate_yara_ruleset",
+    "generate_malware_corpus",
+]
+
+
+def _escape_literal(text: str) -> str:
+    """Escape a text string for our regex dialect (byte-oriented)."""
+    out = []
+    for ch in text:
+        code = ord(ch)
+        if code > 255:
+            raise RegexError("non-byte character in YARA text string")
+        if ch.isalnum():
+            out.append(ch)
+        else:
+            out.append(f"\\x{code:02x}")
+    return "".join(out)
+
+
+def string_to_regex(string: YaraString) -> tuple[str, str]:
+    """Convert one YARA string to ``(pattern, flags)`` for the compiler."""
+    if string.kind == "hex":
+        return hex_string_to_regex(string.value), ""
+    if string.kind == "text":
+        return _escape_literal(string.value), "i" if string.is_nocase else ""
+    if string.kind == "regex":
+        return string.value, "i" if string.is_nocase else ""
+    raise RegexError(f"unknown string kind {string.kind!r}")
+
+
+def compile_yara_rules(
+    rules: list[YaraRule],
+    *,
+    wide: bool = False,
+    skip_unsupported: bool = True,
+) -> tuple[Automaton, list[tuple[str, str]]]:
+    """Compile a ruleset into one automaton.
+
+    ``wide=False`` compiles every string as-is (the YARA benchmark);
+    ``wide=True`` builds the YARA Wide benchmark: only strings with the
+    ``wide`` modifier are included, each passed through the widening
+    transformation (two bytes per logical symbol).
+
+    Returns ``(automaton, rejected)`` with ``rejected`` holding
+    ``(ident, reason)`` for strings the toolchain cannot compile.
+    """
+    union = Automaton("yara-wide" if wide else "yara")
+    rejected: list[tuple[str, str]] = []
+    counter = 0
+    for rule in rules:
+        for string in rule.strings:
+            if wide and not string.is_wide:
+                continue
+            code = (rule.name, string.ident)
+            try:
+                pattern, flags = string_to_regex(string)
+                sub = compile_regex(pattern, flags, report_code=code)
+            except RegexError as exc:
+                if not skip_unsupported:
+                    raise
+                rejected.append((f"{rule.name}{string.ident}", str(exc)))
+                continue
+            if wide:
+                sub = widen(sub)
+            union.merge(sub, prefix=f"s{counter}.")
+            counter += 1
+    return union, rejected
+
+
+def scan(
+    rules: list[YaraRule],
+    automaton: Automaton,
+    data: bytes,
+    *,
+    engine: Engine | None = None,
+) -> dict[str, bool]:
+    """Full YARA kernel: run the automaton, evaluate each rule's condition
+    over the set of matched string ids, return rule verdicts."""
+    if engine is None:
+        engine = VectorEngine(automaton)
+    matched_by_rule: dict[str, set[str]] = {rule.name: set() for rule in rules}
+    for event in engine.run(data).reports:
+        rule_name, ident = event.code
+        matched_by_rule.setdefault(rule_name, set()).add(ident)
+    return {
+        rule.name: evaluate_condition(rule, matched_by_rule[rule.name])
+        for rule in rules
+    }
+
+
+# -- synthetic ruleset and corpus -------------------------------------------
+
+_TEXT_FRAGMENTS = [
+    "This program cannot be run in DOS mode",
+    "CreateRemoteThread",
+    "VirtualAllocEx",
+    "cmd /c start",
+    "HKEY_LOCAL_MACHINE\\Software",
+    "botnet.command.server",
+    "DecryptPayload",
+    "keylogger_start",
+]
+
+
+def generate_yara_ruleset(
+    n_rules: int = 40,
+    *,
+    seed: int = 0,
+    wide_fraction: float = 0.25,
+) -> list[YaraRule]:
+    """Synthetic malware rules mixing hex, text and regex strings."""
+    rng = random.Random(seed)
+    rules: list[YaraRule] = []
+    for index in range(n_rules):
+        strings: list[YaraString] = []
+        n_strings = rng.randint(1, 3)
+        for s in range(n_strings):
+            roll = rng.random()
+            ident = f"$s{s}"
+            if roll < 0.45:
+                parts = []
+                for position in range(rng.randint(6, 16)):
+                    if rng.random() < 0.15 and 0 < position:
+                        parts.append(
+                            rng.choice(["??", f"{rng.choice('0123456789abcdef')}?"])
+                        )
+                    else:
+                        parts.append(f"{rng.randrange(256):02x}")
+                if rng.random() < 0.2:
+                    parts.insert(
+                        rng.randint(1, len(parts) - 1), f"[{rng.randint(1, 4)}]"
+                    )
+                strings.append(YaraString(ident, "hex", " ".join(parts)))
+            elif roll < 0.85:
+                modifiers = set()
+                if rng.random() < wide_fraction:
+                    modifiers.add("wide")
+                if rng.random() < 0.3:
+                    modifiers.add("nocase")
+                text = rng.choice(_TEXT_FRAGMENTS)
+                strings.append(
+                    YaraString(ident, "text", text, frozenset(modifiers))
+                )
+            else:
+                token = "".join(rng.choice("abcdef") for _ in range(4))
+                strings.append(
+                    YaraString(ident, "regex", rf"{token}[0-9]{{2,4}}\.tmp")
+                )
+        condition = "any of them" if rng.random() < 0.7 else "all of them"
+        rules.append(
+            YaraRule(
+                name=f"Mal_{index:04d}",
+                tags=("synthetic",),
+                strings=tuple(strings),
+                condition=condition,
+            )
+        )
+    return rules
+
+
+def generate_malware_corpus(
+    rules: list[YaraRule],
+    n_files: int = 6,
+    *,
+    seed: int = 0,
+    file_size: int = 2048,
+    plant_fraction: float = 0.5,
+    wide: bool = False,
+) -> tuple[bytes, set[str]]:
+    """Binary blobs with a subset of rule strings planted.
+
+    Returns ``(corpus, planted_rule_names)``; planted rules get *all* of
+    their strings embedded so both any-of and all-of conditions fire.
+    ``wide=True`` plants the two-byte (UTF-16LE-style) encoding of
+    wide-marked strings, the stimulus for the YARA Wide benchmark.
+    """
+    rng = random.Random(seed)
+    planted: set[str] = set()
+    out = bytearray()
+    for index in range(n_files):
+        blob = bytearray(rng.randrange(256) for _ in range(file_size))
+        if rng.random() < plant_fraction and rules:
+            rule = rng.choice(rules)
+            planted.add(rule.name)
+            position = 64
+            for string in rule.strings:
+                payload = _materialize_string(
+                    string, rng, wide=wide and string.is_wide
+                )
+                blob[position : position + len(payload)] = payload
+                position += len(payload) + rng.randint(8, 32)
+        out += blob
+    return bytes(out), planted
+
+
+def _materialize_string(
+    string: YaraString, rng: random.Random, *, wide: bool = False
+) -> bytes:
+    if string.kind == "text":
+        raw = string.value.encode("latin-1")
+        if wide:
+            return b"".join(bytes([b, 0]) for b in raw)
+        return raw
+    if string.kind == "hex":
+        out = bytearray()
+        for token in string.value.split():
+            if token.startswith("["):
+                lo = int(_re.findall(r"\d+", token)[0])
+                out += bytes(rng.randrange(256) for _ in range(lo))
+            elif token == "??":
+                out.append(rng.randrange(256))
+            elif token.endswith("?"):
+                out.append((int(token[0], 16) << 4) | rng.randrange(16))
+            elif token.startswith("?"):
+                out.append((rng.randrange(16) << 4) | int(token[1], 16))
+            else:
+                out.append(int(token, 16))
+        return bytes(out)
+    # regex strings: materialise the token[0-9]{2,4}.tmp template
+    match = _re.match(r"([a-f]+)\[0\-9\]\{2,4\}", string.value)
+    token = match.group(1) if match else "test"
+    return f"{token}{rng.randint(10, 999)}.tmp".encode()

@@ -1,0 +1,5 @@
+"""Bit-level automata construction (Section IX-B)."""
+
+from repro.bitlevel.builder import BitPatternBuilder, bits_of, bytes_to_bits
+
+__all__ = ["BitPatternBuilder", "bits_of", "bytes_to_bits"]

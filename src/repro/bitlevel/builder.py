@@ -1,0 +1,193 @@
+"""Bit-level pattern builder (Section IX-B).
+
+File metadata patterns contain bit-fields that cross byte boundaries —
+e.g. the MS-DOS timestamp in a PKZip local header packs seconds, minutes
+and hours into 16 bits.  "Bit-level automata are a much more natural medium
+to define complex bit-fields"; this builder constructs them directly:
+
+* :meth:`BitPatternBuilder.bytes` appends exact bytes,
+* :meth:`BitPatternBuilder.wildcard_bytes` appends don't-care bytes,
+* :meth:`BitPatternBuilder.field` appends an n-bit field restricted to an
+  explicit set of allowed values — compiled to a shared-prefix binary trie
+  so irregular sets (minutes 0..59 in 6 bits) stay exact.
+
+The finished automaton runs over {0, 1} symbols and is normally passed to
+:func:`repro.transforms.striding.stride` for byte-level execution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.automaton import Automaton
+from repro.core.charset import BIT_ONE, BIT_ZERO, CharSet
+from repro.core.elements import StartMode
+from repro.errors import AutomatonError
+
+__all__ = ["BitPatternBuilder", "bits_of", "bytes_to_bits"]
+
+_BIT_ANY = CharSet.from_ranges([(0, 1)])
+
+
+def bits_of(value: int, width: int) -> list[int]:
+    """``value`` as ``width`` bits, MSB first."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bytes_to_bits(data: bytes) -> bytes:
+    """Expand bytes into a {0,1} symbol stream (MSB first per byte)."""
+    return bytes((byte >> (7 - i)) & 1 for byte in data for i in range(8))
+
+
+class BitPatternBuilder:
+    """Incrementally build a bit-level pattern automaton.
+
+    The builder keeps a *frontier* of states whose match means "the pattern
+    so far has been consumed"; each append wires new structure onto the
+    frontier.  Call :meth:`finish` to mark reports and obtain the
+    automaton.
+    """
+
+    def __init__(self, name: str, *, anchored: bool = False) -> None:
+        self.automaton = Automaton(name)
+        self._anchored = anchored
+        self._frontier: list[str] = []
+        self._at_start = True
+        self._counter = 0
+        self._finished = False
+
+    # -- internal ------------------------------------------------------------
+
+    def _new_state(self, charset: CharSet) -> str:
+        ident = f"b{self._counter}"
+        self._counter += 1
+        start = StartMode.NONE
+        if self._at_start:
+            start = StartMode.START_OF_DATA if self._anchored else StartMode.ALL_INPUT
+        self.automaton.add_ste(ident, charset, start=start)
+        return ident
+
+    def _append_single(self, charset: CharSet) -> None:
+        ident = self._new_state(charset)
+        for source in self._frontier:
+            self.automaton.add_edge(source, ident)
+        self._frontier = [ident]
+        self._at_start = False
+
+    # -- public API ------------------------------------------------------------
+
+    def bit(self, value: int) -> "BitPatternBuilder":
+        """Append one exact bit."""
+        if value not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self._append_single(BIT_ONE if value else BIT_ZERO)
+        return self
+
+    def bits(self, values: Iterable[int]) -> "BitPatternBuilder":
+        for value in values:
+            self.bit(value)
+        return self
+
+    def bytes(self, data: bytes) -> "BitPatternBuilder":
+        """Append exact bytes (MSB first)."""
+        return self.bits(bytes_to_bits(data))
+
+    def wildcard_bits(self, count: int) -> "BitPatternBuilder":
+        """Append ``count`` don't-care bits."""
+        for _ in range(count):
+            self._append_single(_BIT_ANY)
+        return self
+
+    def wildcard_bytes(self, count: int) -> "BitPatternBuilder":
+        return self.wildcard_bits(8 * count)
+
+    def field(self, width: int, allowed: Iterable[int]) -> "BitPatternBuilder":
+        """Append a ``width``-bit field restricted to ``allowed`` values.
+
+        Compiled to a *minimized* binary DAG (prefixes shared as a trie,
+        equivalent suffixes hash-consed bottom-up), so structured
+        constraints stay compact: the full 16-bit MS-DOS timestamp
+        relation (43,200 legal values) costs a few dozen states, not
+        thousands.
+        """
+        values = sorted(set(allowed))
+        if not values:
+            raise AutomatonError("field must allow at least one value")
+        if values[-1] >= (1 << width) or values[0] < 0:
+            raise AutomatonError(f"field value out of {width}-bit range")
+        if len(values) == 1 << width:
+            return self.wildcard_bits(width)  # fully wild: no DAG needed
+
+        # 1. Build the prefix trie: (depth, prefix) -> set of child bits.
+        children: dict[tuple[int, int], set[int]] = {(-1, 0): set()}
+        for value in values:
+            bits = bits_of(value, width)
+            prefix = 0
+            for depth, bitval in enumerate(bits):
+                children.setdefault((depth - 1, prefix), set()).add(bitval)
+                prefix = (prefix << 1) | bitval
+                children.setdefault((depth, prefix), set())
+
+        # 2. Hash-cons bottom-up: nodes with identical bit label and
+        #    identical canonical child sets collapse (trie -> DAWG).
+        canon_of: dict[tuple[int, int], int] = {}
+        signature_id: dict[tuple, int] = {}
+        canon_children: dict[int, set[int]] = {}
+        canon_bit: dict[int, int] = {}
+        for depth in range(width - 1, -1, -1):
+            for (d, prefix), kids in children.items():
+                if d != depth:
+                    continue
+                bitval = prefix & 1
+                kid_ids = frozenset(
+                    canon_of[(depth + 1, (prefix << 1) | kid)] for kid in kids
+                )
+                signature = (bitval, kid_ids)
+                node_id = signature_id.get(signature)
+                if node_id is None:
+                    node_id = len(signature_id)
+                    signature_id[signature] = node_id
+                    canon_children[node_id] = set(kid_ids)
+                    canon_bit[node_id] = bitval
+                canon_of[(depth, prefix)] = node_id
+
+        # 3. Materialise one STE per canonical node, wiring the DAG.
+        entry_frontier = list(self._frontier)
+        entry_at_start = self._at_start
+        state_of: dict[int, str] = {}
+        self._at_start = False
+        for node_id, bitval in canon_bit.items():
+            self._at_start = entry_at_start and any(
+                canon_of[(0, b)] == node_id for b in children[(-1, 0)]
+            )
+            state_of[node_id] = self._new_state(BIT_ONE if bitval else BIT_ZERO)
+        for node_id, kids in canon_children.items():
+            for kid in kids:
+                self.automaton.add_edge(state_of[node_id], state_of[kid])
+        roots = {canon_of[(0, b)] for b in children[(-1, 0)]}
+        for root in roots:
+            for source in entry_frontier:
+                self.automaton.add_edge(source, state_of[root])
+        leaves = {
+            canon_of[(width - 1, prefix)]
+            for (depth, prefix) in children
+            if depth == width - 1
+        }
+        self._frontier = [state_of[leaf] for leaf in leaves]
+        self._at_start = False
+        return self
+
+    def finish(self, *, report_code: object = None) -> Automaton:
+        """Mark the frontier as reporting and return the automaton."""
+        if self._finished:
+            raise AutomatonError("finish() called twice")
+        if not self._frontier:
+            raise AutomatonError("empty pattern")
+        self._finished = True
+        for ident in self._frontier:
+            element = self.automaton[ident]
+            element.report = True
+            element.report_code = report_code
+        return self.automaton

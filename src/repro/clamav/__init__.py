@@ -1,0 +1,15 @@
+"""ClamAV virus-signature substrate."""
+
+from repro.clamav.signature import (
+    ClamAVSignature,
+    hex_sig_to_regex,
+    parse_database,
+    parse_signature,
+)
+
+__all__ = [
+    "ClamAVSignature",
+    "hex_sig_to_regex",
+    "parse_database",
+    "parse_signature",
+]

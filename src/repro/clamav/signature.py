@@ -1,0 +1,139 @@
+"""ClamAV signature database substrate.
+
+ClamAV's body-based signatures (``.ndb`` format) are hex strings with
+wildcards: ``Name:TargetType:Offset:HexSignature``, where the hex signature
+supports ``??`` (wildcard byte), nibble wildcards ``a?``/``?a``, ``*``
+(any-length gap), ``{n-m}`` (bounded gap), and ``(aa|bb)`` alternation.
+"These patterns are converted to regular expressions using a tool supplied
+with the benchmark and then compiled to automata" (Section IV); this module
+is that tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PatternError
+from repro.yara.hexstring import nibble_charset_regex
+
+__all__ = ["ClamAVSignature", "parse_signature", "parse_database", "hex_sig_to_regex"]
+
+_HEX = "0123456789abcdefABCDEF"
+_ANY_BYTE = r"[\x00-\xff]"
+
+
+@dataclass(frozen=True)
+class ClamAVSignature:
+    """One ``.ndb`` signature."""
+
+    name: str
+    target_type: int  # 0 = any file
+    offset: str  # '*' or a decimal anchor
+    hex_sig: str
+
+    @property
+    def anchored(self) -> bool:
+        return self.offset != "*"
+
+    def to_regex(self, *, max_unbounded_gap: int | None = 64) -> str:
+        """The signature body as a regex for the automata compiler."""
+        body = hex_sig_to_regex(self.hex_sig, max_unbounded_gap=max_unbounded_gap)
+        if self.anchored and self.offset != "0":
+            body = _ANY_BYTE + f"{{{int(self.offset)}}}" + body
+        if self.anchored:
+            body = "^" + body
+        return body
+
+
+def hex_sig_to_regex(hex_sig: str, *, max_unbounded_gap: int | None = 64) -> str:
+    """Convert a ClamAV hex signature body into a regex.
+
+    ``*`` gaps become bounded wildcard runs when ``max_unbounded_gap`` is
+    set (ClamAV itself bounds match windows); pass ``None`` to emit true
+    unbounded gaps.
+    """
+    out: list[str] = []
+    i = 0
+    sig = hex_sig.strip()
+    if not sig:
+        raise PatternError("empty hex signature")
+    while i < len(sig):
+        ch = sig[i]
+        if ch == "*":
+            if max_unbounded_gap is None:
+                out.append(_ANY_BYTE + "*")
+            else:
+                out.append(_ANY_BYTE + f"{{0,{max_unbounded_gap}}}")
+            i += 1
+        elif ch == "{":
+            end = sig.find("}", i)
+            if end < 0:
+                raise PatternError(f"unterminated jump in signature: {sig[i:i+10]!r}")
+            body = sig[i + 1 : end]
+            if "-" in body:
+                lo_s, hi_s = body.split("-", 1)
+                lo = int(lo_s) if lo_s else 0
+                hi = int(hi_s) if hi_s else None
+            else:
+                lo = hi = int(body)
+            if hi is None:
+                if max_unbounded_gap is not None:
+                    hi = lo + max_unbounded_gap
+                    out.append(_ANY_BYTE + f"{{{lo},{hi}}}")
+                else:
+                    out.append(_ANY_BYTE + f"{{{lo},}}")
+            elif hi < lo:
+                raise PatternError(f"inverted jump {{{body}}}")
+            else:
+                out.append(_ANY_BYTE + f"{{{lo},{hi}}}")
+            i = end + 1
+        elif ch == "(":
+            # alternation of hex alternatives
+            end = sig.find(")", i)
+            if end < 0:
+                raise PatternError("unterminated alternation")
+            alternatives = sig[i + 1 : end].split("|")
+            rendered = [
+                hex_sig_to_regex(alt, max_unbounded_gap=max_unbounded_gap)
+                for alt in alternatives
+            ]
+            out.append("(?:" + "|".join(rendered) + ")")
+            i = end + 1
+        elif ch in _HEX or ch == "?":
+            if i + 1 >= len(sig) or (sig[i + 1] not in _HEX and sig[i + 1] != "?"):
+                raise PatternError(f"lone nibble at {i} in signature")
+            out.append(nibble_charset_regex(ch, sig[i + 1]))
+            i += 2
+        elif ch.isspace():
+            i += 1
+        else:
+            raise PatternError(f"bad character {ch!r} in hex signature")
+    return "".join(out)
+
+
+def parse_signature(line: str) -> ClamAVSignature:
+    """Parse one ``Name:TargetType:Offset:HexSignature`` line."""
+    parts = line.strip().split(":")
+    if len(parts) != 4:
+        raise PatternError(f"signature needs 4 colon-separated fields: {line[:50]!r}")
+    name, target, offset, hex_sig = parts
+    if not name:
+        raise PatternError("signature has no name")
+    try:
+        target_type = int(target)
+    except ValueError:
+        raise PatternError(f"bad target type {target!r}") from None
+    if offset != "*" and not offset.isdigit():
+        raise PatternError(f"bad offset {offset!r}")
+    return ClamAVSignature(name=name, target_type=target_type, offset=offset, hex_sig=hex_sig)
+
+
+def parse_database(text: str) -> list[ClamAVSignature]:
+    """Parse a ``.ndb``-style database (one signature per line)."""
+    out = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        out.append(parse_signature(line))
+    return out

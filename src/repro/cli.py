@@ -1,0 +1,226 @@
+"""Command-line interface: build, run, inspect and export benchmarks.
+
+Usage (also via ``python -m repro``)::
+
+    repro list
+    repro build "Hamming 18x3" --scale 0.01 --output hamming.mnrl
+    repro run "Snort" --scale 0.01 --limit 5000 --engine vector
+    repro stats hamming.mnrl
+    repro table1 --scale 0.005
+    repro grep 'virus[0-9]+' /path/to/file
+
+The CLI mirrors what the VASim binary offers the original suite's users:
+generate, simulate, and report statistics, plus MNRL/ANML export so
+automata can move to other tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.benchmarks import BENCHMARK_NAMES, build_benchmark
+from repro.engines import LazyDFAEngine, ReferenceEngine, VectorEngine
+from repro.io import from_anml, from_mnrl, mnrl_dumps, to_anml
+from repro.regex import compile_regex
+from repro.stats import compute_static_stats, format_table, summarize_benchmark
+from repro.transforms import merge_common_prefixes
+
+__all__ = ["main"]
+
+_ENGINES = {
+    "reference": ReferenceEngine,
+    "vector": VectorEngine,
+    "dfa": LazyDFAEngine,
+}
+
+
+def _load_automaton(path: pathlib.Path):
+    text = path.read_text()
+    if path.suffix == ".anml" or text.lstrip().startswith("<"):
+        return from_anml(text)
+    import json
+
+    return from_mnrl(json.loads(text))
+
+
+def _cmd_list(_args) -> int:
+    for name in BENCHMARK_NAMES:
+        print(name)
+    return 0
+
+
+def _cmd_build(args) -> int:
+    bench = build_benchmark(args.name, scale=args.scale, seed=args.seed)
+    print(f"built {bench}", file=sys.stderr)
+    if args.output:
+        out = pathlib.Path(args.output)
+        if out.suffix == ".anml":
+            out.write_text(to_anml(bench.automaton))
+        else:
+            out.write_text(mnrl_dumps(bench.automaton))
+        print(f"wrote {out}", file=sys.stderr)
+    if args.input_output:
+        pathlib.Path(args.input_output).write_bytes(bench.input_data)
+        print(f"wrote {args.input_output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    bench = build_benchmark(args.name, scale=args.scale, seed=args.seed)
+    data = bench.input_data[: args.limit] if args.limit else bench.input_data
+    engine = _ENGINES[args.engine](bench.automaton)
+    result = engine.run(data, record_active=True)
+    print(f"benchmark:      {bench.name}")
+    print(f"states:         {bench.states:,}")
+    print(f"symbols:        {result.cycles:,}")
+    print(f"reports:        {result.report_count:,}")
+    print(f"mean active:    {result.mean_active_set:.2f}")
+    if args.show_reports:
+        for event in result.reports[: args.show_reports]:
+            print(f"  offset={event.offset} code={event.code!r}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    automaton = _load_automaton(pathlib.Path(args.file))
+    stats = compute_static_stats(automaton)
+    merged, merge_stats = merge_common_prefixes(automaton)
+    print(f"states:          {stats.states:,}")
+    print(f"edges:           {stats.edges:,}")
+    print(f"edges/node:      {stats.edges_per_node:.2f}")
+    print(f"subgraphs:       {stats.subgraph_count:,}")
+    print(f"avg size:        {stats.avg_component_size:.2f}")
+    print(f"std dev:         {stats.std_component_size:.2f}")
+    print(f"start states:    {stats.start_states:,}")
+    print(f"report states:   {stats.reporting_states:,}")
+    print(f"compressed:      {merge_stats.states_after:,} "
+          f"({100 * merge_stats.compression_factor:.1f}% removed)")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    rows = []
+    names = args.names if args.names else BENCHMARK_NAMES
+    for name in names:
+        bench = build_benchmark(name, scale=args.scale, seed=args.seed)
+        rows.append(
+            summarize_benchmark(
+                bench.name,
+                bench.domain,
+                bench.input_desc,
+                bench.automaton,
+                bench.input_data[: args.limit],
+                compress=bench.compressible,
+            )
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.benchmarks.verify import verify_benchmark
+
+    names = args.names if args.names else BENCHMARK_NAMES
+    failures = 0
+    for name in names:
+        bench = build_benchmark(name, scale=args.scale, seed=args.seed)
+        problems = verify_benchmark(bench)
+        status = "ok" if not problems else "FAIL"
+        print(f"{name:25s} {status}")
+        for problem in problems:
+            print(f"    {problem}")
+        failures += bool(problems)
+    return 1 if failures else 0
+
+
+def _cmd_export_suite(args) -> int:
+    from repro.distribution import export_suite
+
+    manifest = export_suite(
+        args.directory, scale=args.scale, seed=args.seed, names=args.names
+    )
+    print(f"wrote {manifest}", file=sys.stderr)
+    return 0
+
+
+def _cmd_grep(args) -> int:
+    automaton = compile_regex(args.pattern, args.flags)
+    data = pathlib.Path(args.file).read_bytes()
+    result = VectorEngine(automaton).run(data)
+    for event in result.reports:
+        start = max(0, event.offset - args.context)
+        end = min(len(data), event.offset + args.context + 1)
+        snippet = data[start:end]
+        print(f"{event.offset}: {snippet!r}")
+    return 0 if result.reports else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AutomataZoo benchmark suite tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark names").set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("build", help="generate a benchmark; optionally export")
+    p.add_argument("name")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="write automaton (.mnrl json or .anml xml)")
+    p.add_argument("--input-output", help="write the standard input stimulus")
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("run", help="simulate a benchmark on its standard input")
+    p.add_argument("name")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--limit", type=int, default=10_000, help="max input symbols")
+    p.add_argument("--engine", choices=sorted(_ENGINES), default="vector")
+    p.add_argument("--show-reports", type=int, default=0, metavar="N")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("stats", help="statistics of a saved automaton")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("table1", help="print Table-I-style suite statistics")
+    p.add_argument("--scale", type=float, default=0.005)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--limit", type=int, default=10_000)
+    p.add_argument("--names", nargs="*", help="subset of benchmarks")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("verify", help="self-check generated benchmarks")
+    p.add_argument("--scale", type=float, default=0.005)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--names", nargs="*", help="subset of benchmarks")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "export-suite", help="write the benchmark suite to a directory"
+    )
+    p.add_argument("directory")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--names", nargs="*", help="subset of benchmarks")
+    p.set_defaults(func=_cmd_export_suite)
+
+    p = sub.add_parser("grep", help="scan a file with a compiled regex")
+    p.add_argument("pattern")
+    p.add_argument("file")
+    p.add_argument("--flags", default="")
+    p.add_argument("--context", type=int, default=10)
+    p.set_defaults(func=_cmd_grep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Core automata model: character sets, elements, automata, NFAs."""
+
+from repro.core.automaton import Automaton
+from repro.core.dfa import DFA
+from repro.core.charset import ALL_BYTES, BIT_ONE, BIT_ZERO, CharSet, NO_BYTES
+from repro.core.extended import exact_run_automaton, min_run_automaton
+from repro.core.elements import CounterElement, CounterMode, Element, STE, StartMode
+from repro.core.nfa import NFA
+
+__all__ = [
+    "ALL_BYTES",
+    "BIT_ONE",
+    "BIT_ZERO",
+    "Automaton",
+    "CharSet",
+    "CounterElement",
+    "CounterMode",
+    "DFA",
+    "Element",
+    "NFA",
+    "NO_BYTES",
+    "STE",
+    "StartMode",
+    "exact_run_automaton",
+    "min_run_automaton",
+]

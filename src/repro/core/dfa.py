@@ -1,0 +1,204 @@
+"""Ahead-of-time DFA compilation: subset construction + minimization.
+
+The lazy DFA engine materialises states on demand; this module is the
+ahead-of-time counterpart used when the full table is wanted — equivalence
+checking, table-size studies, and Hyperscan-style compiled scanning of
+small rulesets.  Two classic size levers are implemented:
+
+* **alphabet compression** — symbols that no state distinguishes share a
+  column (byte-oriented rulesets typically need far fewer than 256
+  columns), and
+* **Mealy minimization** — partition refinement over (emission, successor)
+  signatures collapses equivalent subset states.
+
+Report semantics match the engines': taking a transition that corresponds
+to a matching reporting STE emits that STE's report code at the current
+offset.  Reports are deduplicated per code (a DFA cannot distinguish which
+of several merged STEs matched); compare with NFA engines on
+``{(offset, code)}`` sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.automaton import Automaton
+from repro.core.elements import STE, StartMode
+from repro.engines.base import ReportEvent, RunResult
+from repro.errors import CapacityError, EngineError
+
+__all__ = ["DFA"]
+
+
+class DFA:
+    """A dense-table DFA over compressed symbol classes."""
+
+    def __init__(
+        self,
+        transitions: np.ndarray,  # (n_states, n_classes) int
+        emissions: list[dict[int, frozenset]],  # per state: class -> codes
+        start: int,
+        symbol_class: np.ndarray,  # (256,) -> class index
+    ) -> None:
+        self.transitions = transitions
+        self.emissions = emissions
+        self.start = start
+        self.symbol_class = symbol_class
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_automaton(cls, automaton: Automaton, *, max_states: int = 100_000) -> "DFA":
+        """Determinise a (counter-free) homogeneous automaton."""
+        if any(True for _ in automaton.counters()):
+            raise EngineError("DFA compilation does not support counters")
+        stes: list[STE] = list(automaton.stes())
+        index = {ste.ident: i for i, ste in enumerate(stes)}
+        n = len(stes)
+
+        # Alphabet compression: group symbols by their membership column.
+        membership = np.zeros((256, n), dtype=bool)
+        for i, ste in enumerate(stes):
+            membership[:, i] = ste.charset.to_bool_array()
+        _, symbol_class, = np.unique(membership, axis=0, return_inverse=True)
+        n_classes = int(symbol_class.max()) + 1 if n else 1
+        class_rep = np.zeros(n_classes, dtype=np.int64)
+        for symbol in range(255, -1, -1):
+            class_rep[symbol_class[symbol]] = symbol
+
+        succ = [
+            frozenset(index[s] for s in automaton.successors(ste.ident))
+            for ste in stes
+        ]
+        report_code = [ste.report_code if ste.report else None for ste in stes]
+        reporting = [ste.report for ste in stes]
+        all_input = frozenset(
+            index[s.ident] for s in stes if s.start is StartMode.ALL_INPUT
+        )
+        initial = frozenset(
+            index[s.ident]
+            for s in stes
+            if s.start in (StartMode.ALL_INPUT, StartMode.START_OF_DATA)
+        )
+
+        set_to_id: dict[frozenset, int] = {initial: 0}
+        worklist = [initial]
+        rows: list[np.ndarray] = []
+        emissions: list[dict[int, frozenset]] = []
+        while worklist:
+            state_set = worklist.pop()
+            sid = set_to_id[state_set]
+            while len(rows) <= sid:
+                rows.append(np.zeros(n_classes, dtype=np.int64))
+                emissions.append({})
+            row = rows[sid]
+            emit = emissions[sid]
+            for cls_index in range(n_classes):
+                symbol = int(class_rep[cls_index])
+                matched = [
+                    i for i in state_set if stes[i].charset.matches(symbol)
+                ]
+                codes = frozenset(
+                    report_code[i] for i in matched if reporting[i]
+                )
+                nxt = set(all_input)
+                for i in matched:
+                    nxt |= succ[i]
+                nxt = frozenset(nxt)
+                target = set_to_id.get(nxt)
+                if target is None:
+                    if len(set_to_id) >= max_states:
+                        raise CapacityError(
+                            f"DFA exceeded {max_states} states during "
+                            "subset construction"
+                        )
+                    target = len(set_to_id)
+                    set_to_id[nxt] = target
+                    worklist.append(nxt)
+                row[cls_index] = target
+                if codes:
+                    emit[cls_index] = codes
+        transitions = np.vstack(rows) if rows else np.zeros((1, n_classes), dtype=np.int64)
+        return cls(transitions, emissions, 0, symbol_class.astype(np.int64))
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return self.transitions.shape[0]
+
+    @property
+    def n_symbol_classes(self) -> int:
+        return self.transitions.shape[1]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, data: bytes) -> RunResult:
+        """Scan ``data``; reports are deduplicated per (offset, code)."""
+        reports: list[ReportEvent] = []
+        state = self.start
+        transitions = self.transitions
+        emissions = self.emissions
+        symbol_class = self.symbol_class
+        for offset, symbol in enumerate(data):
+            cls_index = int(symbol_class[symbol])
+            codes = emissions[state].get(cls_index)
+            if codes is not None:
+                for code in codes:
+                    reports.append(ReportEvent(offset, "dfa", code))
+            state = int(transitions[state, cls_index])
+        reports.sort()
+        return RunResult(reports=reports, cycles=len(data))
+
+    # -- minimization ----------------------------------------------------------
+
+    def minimize(self) -> "DFA":
+        """Mealy minimization by partition refinement."""
+        n = self.n_states
+        emission_key = [
+            tuple(sorted((c, tuple(sorted(map(repr, codes)))) for c, codes in e.items()))
+            for e in self.emissions
+        ]
+        # initial partition: states with identical emission behaviour
+        block_of = {}
+        blocks: dict[tuple, int] = {}
+        for state in range(n):
+            key = emission_key[state]
+            if key not in blocks:
+                blocks[key] = len(blocks)
+            block_of[state] = blocks[key]
+
+        while True:
+            signatures: dict[tuple, int] = {}
+            new_block_of = {}
+            for state in range(n):
+                signature = (
+                    block_of[state],
+                    tuple(
+                        block_of[int(self.transitions[state, c])]
+                        for c in range(self.n_symbol_classes)
+                    ),
+                )
+                if signature not in signatures:
+                    signatures[signature] = len(signatures)
+                new_block_of[state] = signatures[signature]
+            if len(signatures) == len(set(block_of.values())):
+                block_of = new_block_of
+                break
+            block_of = new_block_of
+
+        n_blocks = len(set(block_of.values()))
+        representative: dict[int, int] = {}
+        for state in range(n):
+            representative.setdefault(block_of[state], state)
+        transitions = np.zeros((n_blocks, self.n_symbol_classes), dtype=np.int64)
+        emissions: list[dict[int, frozenset]] = [dict() for _ in range(n_blocks)]
+        for block, state in representative.items():
+            for cls_index in range(self.n_symbol_classes):
+                transitions[block, cls_index] = block_of[
+                    int(self.transitions[state, cls_index])
+                ]
+            emissions[block] = dict(self.emissions[state])
+        return DFA(
+            transitions, emissions, block_of[self.start], self.symbol_class
+        )

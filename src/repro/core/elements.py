@@ -1,0 +1,116 @@
+"""Automaton processing elements.
+
+The computational model mirrors ANML / Micron AP semantics, the model VASim
+and the AutomataZoo benchmarks use:
+
+* **STE** (state transition element): a homogeneous automaton state carrying
+  a :class:`~repro.core.charset.CharSet`.  An STE is *enabled* on a cycle if
+  any predecessor *matched* on the previous cycle, or if its start mode says
+  so.  An enabled STE matches if the current input symbol is in its charset;
+  matching STEs enable their successors and, if marked reporting, emit a
+  report event.
+* **CounterElement**: counts activation events; when the count reaches the
+  target the counter fires, enabling its successors (and optionally
+  reporting).  Used by the Sequence Matching "wC" benchmark variants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.charset import CharSet
+
+__all__ = ["StartMode", "CounterMode", "STE", "CounterElement", "Element"]
+
+
+class StartMode(enum.Enum):
+    """When a state self-enables, independent of predecessors."""
+
+    #: Never self-enables; only enabled by a matching predecessor.
+    NONE = "none"
+    #: Enabled only on the first symbol of the stream (ANML ``start-of-data``).
+    START_OF_DATA = "start-of-data"
+    #: Enabled on every symbol (ANML ``all-input``).
+    ALL_INPUT = "all-input"
+
+
+class CounterMode(enum.Enum):
+    """What a counter does when it reaches its target."""
+
+    #: Fire once, then stay latched (fires every subsequent count event).
+    LATCH = "latch"
+    #: Fire and reset the count to zero.
+    ROLLOVER = "rollover"
+    #: Fire once and go inert until explicitly reset.
+    STOP = "stop"
+
+
+@dataclass(eq=False)
+class STE:
+    """A state transition element (homogeneous automaton state).
+
+    Parameters
+    ----------
+    ident:
+        Unique string id within its automaton.
+    charset:
+        The set of input symbols this state matches.
+    start:
+        Self-enabling behaviour (see :class:`StartMode`).
+    report:
+        Whether a match emits a report event.
+    report_code:
+        Arbitrary payload attached to report events; AutomataZoo uses it to
+        carry rule ids / class labels so full kernels stay interpretable.
+    """
+
+    ident: str
+    charset: CharSet
+    start: StartMode = StartMode.NONE
+    report: bool = False
+    report_code: object = None
+    attrs: dict = field(default_factory=dict)
+
+    def is_start(self) -> bool:
+        return self.start is not StartMode.NONE
+
+    def __repr__(self) -> str:  # compact: ids dominate debugging output
+        flags = ""
+        if self.start is StartMode.START_OF_DATA:
+            flags += "^"
+        elif self.start is StartMode.ALL_INPUT:
+            flags += "^*"
+        if self.report:
+            flags += "!"
+        return f"STE({self.ident}{flags} {self.charset!r})"
+
+
+@dataclass(eq=False)
+class CounterElement:
+    """A threshold counter (Micron AP counter element).
+
+    Each *count event* (any predecessor matched this cycle) increments the
+    counter by one.  When the count reaches ``target`` the counter fires:
+    successors are enabled for the next cycle and, if ``report`` is set, a
+    report event is emitted.
+    """
+
+    ident: str
+    target: int
+    mode: CounterMode = CounterMode.LATCH
+    report: bool = False
+    report_code: object = None
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.target < 1:
+            raise ValueError(f"counter target must be >= 1, got {self.target}")
+
+    def __repr__(self) -> str:
+        bang = "!" if self.report else ""
+        return f"Counter({self.ident}{bang} target={self.target} {self.mode.value})"
+
+
+#: Anything that can be a node of an :class:`~repro.core.automaton.Automaton`.
+Element = STE | CounterElement

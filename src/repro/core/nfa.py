@@ -1,0 +1,181 @@
+"""Edge-labelled NFAs and conversion to homogeneous automata.
+
+Most of the library works directly on homogeneous automata
+(:class:`~repro.core.automaton.Automaton`), but two pipelines naturally
+produce *edge-labelled* NFAs first:
+
+* the k-striding transformation (Section IX-B of the paper) — the strided
+  transition relation is computed per edge, and
+* hand-built classical constructions used in tests.
+
+:class:`NFA` stores labelled transitions and knows how to convert itself to
+an equivalent homogeneous automaton by splitting every state on its distinct
+incoming labels (the standard NFA → homogeneous-NFA construction).
+
+NFAs here are epsilon-free; producers are expected to resolve epsilon
+closures during construction (Glushkov compilation and striding both do).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import StartMode
+from repro.errors import AutomatonError
+
+__all__ = ["NFA"]
+
+
+class NFA:
+    """An epsilon-free NFA with :class:`CharSet`-labelled edges.
+
+    States are arbitrary hashable ids.  ``start_anchored`` states are active
+    only before the first symbol; ``start_all`` states re-activate before
+    every symbol (unanchored search, like ANML all-input).
+    """
+
+    def __init__(self, name: str = "nfa") -> None:
+        self.name = name
+        self._states: set[object] = set()
+        self._trans: dict[object, list[tuple[CharSet, object]]] = {}
+        self.start_anchored: set[object] = set()
+        self.start_all: set[object] = set()
+        self._accept: dict[object, object] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_state(
+        self,
+        state: object,
+        *,
+        start: bool = False,
+        start_all: bool = False,
+        accept: bool = False,
+        report_code: object = None,
+    ) -> object:
+        self._states.add(state)
+        self._trans.setdefault(state, [])
+        if start:
+            self.start_anchored.add(state)
+        if start_all:
+            self.start_all.add(state)
+        if accept:
+            self._accept[state] = report_code
+        return state
+
+    def add_transition(self, src: object, charset: CharSet, dst: object) -> None:
+        if src not in self._states or dst not in self._states:
+            raise AutomatonError("transition endpoints must be added first")
+        if charset.is_empty():
+            return
+        self._trans[src].append((charset, dst))
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def n_transitions(self) -> int:
+        return sum(len(edges) for edges in self._trans.values())
+
+    def states(self) -> Iterable[object]:
+        return iter(self._states)
+
+    def transitions(self, src: object) -> list[tuple[CharSet, object]]:
+        return list(self._trans.get(src, []))
+
+    def is_accept(self, state: object) -> bool:
+        return state in self._accept
+
+    def report_code(self, state: object) -> object:
+        return self._accept.get(state)
+
+    # -- semantics ---------------------------------------------------------
+
+    def run(self, data: bytes) -> list[tuple[int, object]]:
+        """Simulate directly; return ``(offset, report_code)`` per accept.
+
+        ``offset`` is the index of the last consumed symbol of the match.
+        This is the semantic oracle used to validate conversions and the
+        striding transformation.
+        """
+        current: set[object] = set(self.start_anchored) | set(self.start_all)
+        reports: list[tuple[int, object]] = []
+        for offset, symbol in enumerate(data):
+            nxt: set[object] = set()
+            for state in current:
+                for charset, dst in self._trans[state]:
+                    if charset.matches(symbol):
+                        nxt.add(dst)
+            for state in nxt:
+                if state in self._accept:
+                    reports.append((offset, self._accept[state]))
+            nxt |= self.start_all
+            current = nxt
+        return reports
+
+    # -- conversion --------------------------------------------------------
+
+    def to_homogeneous(self, name: str | None = None) -> Automaton:
+        """Convert to an equivalent homogeneous automaton.
+
+        Each NFA state ``q`` is split into one STE per distinct charset
+        among its incoming edges; an STE ``(q, c)`` matches charset ``c``
+        and means "just consumed a symbol in ``c``, now in ``q``".  Edges
+        out of NFA start states become start modes on the target STEs
+        (START_OF_DATA for anchored starts, ALL_INPUT for all-input
+        starts).
+
+        Raises :class:`AutomatonError` if a start state accepts: homogeneous
+        automata report only after consuming a symbol, so an
+        empty-string-accepting NFA has no equivalent.
+        """
+        for state in self.start_anchored | self.start_all:
+            if state in self._accept:
+                raise AutomatonError(
+                    "start state accepts the empty string; no homogeneous equivalent"
+                )
+
+        automaton = Automaton(name if name is not None else self.name)
+        # Group incoming edges of each state by charset.
+        incoming: dict[object, dict[CharSet, None]] = {}
+        for src in self._states:
+            for charset, dst in self._trans[src]:
+                incoming.setdefault(dst, {}).setdefault(charset, None)
+
+        ste_id: dict[tuple[object, CharSet], str] = {}
+        counter = 0
+        for dst, charsets in incoming.items():
+            for charset in charsets:
+                ident = f"q{counter}"
+                counter += 1
+                ste_id[(dst, charset)] = ident
+                start = StartMode.NONE
+                automaton.add_ste(
+                    ident,
+                    charset,
+                    start=start,
+                    report=self.is_accept(dst),
+                    report_code=self.report_code(dst),
+                )
+
+        for src in self._states:
+            src_stes = [
+                ste_id[(src, charset)]
+                for charset in incoming.get(src, {})
+            ]
+            src_is_anchored = src in self.start_anchored
+            src_is_all = src in self.start_all
+            for charset, dst in self._trans[src]:
+                dst_ste = ste_id[(dst, charset)]
+                for ste in src_stes:
+                    automaton.add_edge(ste, dst_ste)
+                if src_is_all:
+                    automaton[dst_ste].start = StartMode.ALL_INPUT
+                elif src_is_anchored and automaton[dst_ste].start is StartMode.NONE:
+                    automaton[dst_ste].start = StartMode.START_OF_DATA
+        return automaton

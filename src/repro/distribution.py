@@ -1,0 +1,115 @@
+"""On-disk benchmark suite distribution (the AutomataZoo repository layout).
+
+The original AutomataZoo ships as a repository: one directory per
+benchmark holding the automaton (ANML/MNRL), the standard input stimulus,
+and generation notes.  This module writes and reads that layout::
+
+    <root>/
+      manifest.json                 suite-level metadata (scale, seed, rows)
+      <benchmark-slug>/
+        automaton.mnrl              the benchmark automaton
+        input.bin                   the standard input stimulus
+        benchmark.json              name, domain, statistics, meta
+
+so generated suites can be consumed by external tools (or re-loaded here
+without re-running the generators).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+from repro.benchmarks.registry import BENCHMARK_NAMES, build_benchmark
+from repro.benchmarks.spec import Benchmark
+from repro.io.mnrl import dumps as mnrl_dumps
+from repro.io.mnrl import loads as mnrl_loads
+from repro.stats.static import compute_static_stats
+
+__all__ = ["slugify", "export_suite", "load_benchmark", "load_manifest"]
+
+
+def slugify(name: str) -> str:
+    """A filesystem-safe directory name for a benchmark."""
+    slug = re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+    return slug or "benchmark"
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def export_suite(
+    root: str | pathlib.Path,
+    *,
+    scale: float = 0.01,
+    seed: int = 0,
+    names=None,
+) -> pathlib.Path:
+    """Generate and write the suite; returns the manifest path."""
+    root = pathlib.Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    selected = list(names) if names is not None else list(BENCHMARK_NAMES)
+    manifest_rows = []
+    for name in selected:
+        bench = build_benchmark(name, scale=scale, seed=seed)
+        slug = slugify(name)
+        bench_dir = root / slug
+        bench_dir.mkdir(exist_ok=True)
+        (bench_dir / "automaton.mnrl").write_text(mnrl_dumps(bench.automaton))
+        (bench_dir / "input.bin").write_bytes(bench.input_data)
+        stats = compute_static_stats(bench.automaton)
+        record = {
+            "name": bench.name,
+            "domain": bench.domain,
+            "input": bench.input_desc,
+            "compressible": bench.compressible,
+            "states": stats.states,
+            "edges": stats.edges,
+            "subgraphs": stats.subgraph_count,
+            "input_bytes": len(bench.input_data),
+            "meta": _jsonable(bench.meta),
+        }
+        (bench_dir / "benchmark.json").write_text(json.dumps(record, indent=2))
+        manifest_rows.append({"slug": slug, **record})
+    manifest_path = root / "manifest.json"
+    manifest_path.write_text(
+        json.dumps(
+            {"suite": "AutomataZoo (reproduction)", "scale": scale, "seed": seed,
+             "benchmarks": manifest_rows},
+            indent=2,
+        )
+    )
+    return manifest_path
+
+
+def load_manifest(root: str | pathlib.Path) -> dict:
+    """Read a suite manifest."""
+    return json.loads((pathlib.Path(root) / "manifest.json").read_text())
+
+
+def load_benchmark(root: str | pathlib.Path, name_or_slug: str) -> Benchmark:
+    """Re-load one exported benchmark (automaton + input + metadata)."""
+    root = pathlib.Path(root)
+    slug = slugify(name_or_slug)
+    bench_dir = root / slug
+    if not bench_dir.exists():
+        raise FileNotFoundError(f"no exported benchmark at {bench_dir}")
+    record = json.loads((bench_dir / "benchmark.json").read_text())
+    automaton = mnrl_loads((bench_dir / "automaton.mnrl").read_text())
+    return Benchmark(
+        name=record["name"],
+        domain=record["domain"],
+        input_desc=record["input"],
+        automaton=automaton,
+        input_data=(bench_dir / "input.bin").read_bytes(),
+        compressible=record.get("compressible", True),
+        meta=record.get("meta", {}),
+    )

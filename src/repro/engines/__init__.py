@@ -1,0 +1,34 @@
+"""Execution engines: reference, vectorised, lazy-DFA, and spatial models."""
+
+from repro.engines.base import Engine, ReportEvent, RunResult
+from repro.engines.lazydfa import LazyDFAEngine, LazyDFAStream
+from repro.engines.parallel import parallel_scan, parallel_speedup_model, split_with_overlap
+from repro.engines.placement import ISLAND_FABRIC, PlacementReport, RoutingFabric, TREE_FABRIC, place
+from repro.engines.prefilter import PrefilterScanner
+from repro.engines.reference import ReferenceEngine, ReferenceStream
+from repro.engines.spatial import KINTEX_KU060, MICRON_D480, SpatialModel
+from repro.engines.vector import VectorEngine, VectorStream
+
+__all__ = [
+    "Engine",
+    "KINTEX_KU060",
+    "LazyDFAEngine",
+    "LazyDFAStream",
+    "ISLAND_FABRIC",
+    "PlacementReport",
+    "PrefilterScanner",
+    "RoutingFabric",
+    "TREE_FABRIC",
+    "parallel_scan",
+    "parallel_speedup_model",
+    "place",
+    "split_with_overlap",
+    "MICRON_D480",
+    "ReferenceEngine",
+    "ReferenceStream",
+    "ReportEvent",
+    "RunResult",
+    "SpatialModel",
+    "VectorEngine",
+    "VectorStream",
+]

@@ -1,0 +1,83 @@
+"""Engine interfaces and result types.
+
+An *engine* executes an :class:`~repro.core.automaton.Automaton` over a byte
+stream and produces :class:`ReportEvent` objects.  All engines implement the
+same semantics (pinned by cross-engine property tests):
+
+* Cycle ``t`` consumes input symbol ``data[t]``.
+* An STE is *enabled* at cycle ``t`` if a predecessor matched/fired at cycle
+  ``t - 1``, or it is an ``ALL_INPUT`` start, or ``t == 0`` and it is a
+  ``START_OF_DATA`` start.
+* An enabled STE *matches* if ``data[t]`` is in its charset; matching STEs
+  enable their successors for cycle ``t + 1`` and report if flagged.
+* A counter receives one *count event* per cycle in which at least one of
+  its predecessors matched/fired.  On reaching its target it *fires*:
+  successors are enabled for the next cycle, and it reports if flagged.
+  ``LATCH`` counters keep firing on every subsequent count event,
+  ``ROLLOVER`` counters reset to zero, ``STOP`` counters go inert.
+
+The **active set** at cycle ``t`` is the number of elements enabled at ``t``
+(states that attempt a match) — the paper's CPU-performance proxy.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.automaton import Automaton
+
+__all__ = ["ReportEvent", "RunResult", "Engine"]
+
+
+@dataclass(frozen=True, order=True)
+class ReportEvent:
+    """One report: element ``ident`` reported at input offset ``offset``.
+
+    ``code`` carries the benchmark-level payload (rule id, class label, ...)
+    so full kernels stay interpretable (Section VIII of the paper).
+    """
+
+    offset: int
+    ident: str
+    code: object = field(default=None, compare=False)
+
+
+@dataclass
+class RunResult:
+    """The outcome of running an engine over an input stream."""
+
+    reports: list[ReportEvent]
+    cycles: int
+    #: Per-cycle enabled-element counts; filled when requested.
+    active_per_cycle: list[int] | None = None
+
+    @property
+    def report_count(self) -> int:
+        return len(self.reports)
+
+    @property
+    def mean_active_set(self) -> float:
+        """Average enabled elements per input symbol (Table I column)."""
+        if not self.active_per_cycle:
+            return 0.0
+        return sum(self.active_per_cycle) / len(self.active_per_cycle)
+
+    def reporting_cycles(self) -> set[int]:
+        """The set of input offsets at which at least one report fired."""
+        return {event.offset for event in self.reports}
+
+
+class Engine(abc.ABC):
+    """Common engine interface: compile once, run many streams."""
+
+    def __init__(self, automaton: Automaton) -> None:
+        self.automaton = automaton
+
+    @abc.abstractmethod
+    def run(self, data: bytes, *, record_active: bool = False) -> RunResult:
+        """Execute over ``data`` from a fresh initial state."""
+
+    def count_reports(self, data: bytes) -> int:
+        """Convenience: number of report events over ``data``."""
+        return self.run(data).report_count

@@ -1,0 +1,149 @@
+"""Lazy-DFA engine (the Hyperscan-class comparator).
+
+Hyperscan's role in the paper's experiments (Tables III and IV) is to
+represent DFA-style CPU engines whose per-symbol cost is a constant-time
+table lookup, independent of the NFA active set.  This engine reproduces
+that property via on-the-fly subset construction: DFA states (frozen sets of
+enabled STEs) and their transitions are built the first time they are
+visited and memoised, so steady-state scanning is one table lookup per
+symbol.
+
+Counters make the reachable state space input-history-dependent, so this
+engine rejects automata containing counter elements — exactly as Hyperscan
+rejects features outside its model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.automaton import Automaton
+from repro.core.elements import STE, StartMode
+from repro.engines.base import Engine, ReportEvent, RunResult
+from repro.errors import CapacityError, EngineError
+
+__all__ = ["LazyDFAEngine", "LazyDFAStream"]
+
+
+class LazyDFAEngine(Engine):
+    """On-the-fly subset construction with memoised transitions."""
+
+    def __init__(self, automaton: Automaton, *, max_dfa_states: int = 2_000_000) -> None:
+        super().__init__(automaton)
+        if any(True for _ in automaton.counters()):
+            raise EngineError("LazyDFAEngine does not support counter elements")
+        self._max_dfa_states = max_dfa_states
+
+        stes: list[STE] = list(automaton.stes())
+        self._idents = [ste.ident for ste in stes]
+        index = {ste.ident: i for i, ste in enumerate(stes)}
+        self._charsets = [ste.charset for ste in stes]
+        self._succ = [
+            tuple(sorted(index[s] for s in automaton.successors(ste.ident)))
+            for ste in stes
+        ]
+        self._report = [ste.report for ste in stes]
+        self._codes = [ste.report_code for ste in stes]
+        self._all_input = frozenset(
+            index[s.ident] for s in stes if s.start is StartMode.ALL_INPUT
+        )
+        initial = frozenset(
+            index[s.ident]
+            for s in stes
+            if s.start in (StartMode.ALL_INPUT, StartMode.START_OF_DATA)
+        )
+
+        # DFA state table.  _trans[sid] is a length-256 int array; -1 marks
+        # a transition not yet computed.  _emits[sid][sym] is the tuple of
+        # (ident, code) reports fired when leaving sid on sym.
+        self._set_to_id: dict[frozenset[int], int] = {}
+        self._id_to_set: list[frozenset[int]] = []
+        self._trans: list[np.ndarray] = []
+        self._emits: list[dict[int, tuple[tuple[str, object], ...]]] = []
+        self._initial_id = self._intern(initial)
+
+    # -- construction ------------------------------------------------------
+
+    def _intern(self, state_set: frozenset[int]) -> int:
+        sid = self._set_to_id.get(state_set)
+        if sid is None:
+            if len(self._id_to_set) >= self._max_dfa_states:
+                raise CapacityError(
+                    f"lazy DFA exceeded {self._max_dfa_states} states; "
+                    "automaton is too nondeterministic for the DFA engine"
+                )
+            sid = len(self._id_to_set)
+            self._set_to_id[state_set] = sid
+            self._id_to_set.append(state_set)
+            self._trans.append(np.full(256, -1, dtype=np.int64))
+            self._emits.append({})
+        return sid
+
+    def _compute(self, sid: int, symbol: int) -> int:
+        current = self._id_to_set[sid]
+        matched = [i for i in current if self._charsets[i].matches(symbol)]
+        emits = tuple(
+            (self._idents[i], self._codes[i]) for i in matched if self._report[i]
+        )
+        nxt: set[int] = set(self._all_input)
+        for i in matched:
+            nxt.update(self._succ[i])
+        nid = self._intern(frozenset(nxt))
+        self._trans[sid][symbol] = nid
+        if emits:
+            self._emits[sid][symbol] = emits
+        return nid
+
+    @property
+    def dfa_state_count(self) -> int:
+        """DFA states materialised so far."""
+        return len(self._id_to_set)
+
+    # -- execution ---------------------------------------------------------
+
+    def stream(self, *, record_active: bool = False) -> "LazyDFAStream":
+        """A streaming session: feed chunks, state persists between feeds."""
+        return LazyDFAStream(self, record_active=record_active)
+
+    def run(self, data: bytes, *, record_active: bool = False) -> RunResult:
+        session = self.stream(record_active=record_active)
+        reports = session.feed(data)
+        return RunResult(
+            reports=reports,
+            cycles=session.offset,
+            active_per_cycle=session.active_per_cycle,
+        )
+
+
+class LazyDFAStream:
+    """Persistent execution state (the current DFA state id)."""
+
+    def __init__(self, engine: LazyDFAEngine, *, record_active: bool = False) -> None:
+        self._engine = engine
+        self.offset = 0
+        self.active_per_cycle: list[int] | None = [] if record_active else None
+        self._sid = engine._initial_id
+
+    def feed(self, data: bytes) -> list[ReportEvent]:
+        engine = self._engine
+        reports: list[ReportEvent] = []
+        active_counts = self.active_per_cycle
+        sid = self._sid
+        trans = engine._trans
+        emits = engine._emits
+        base = self.offset
+        for index, symbol in enumerate(data):
+            if active_counts is not None:
+                active_counts.append(len(engine._id_to_set[sid]))
+            nid = trans[sid][symbol]
+            if nid < 0:
+                nid = engine._compute(sid, symbol)
+            hit = emits[sid].get(symbol)
+            if hit is not None:
+                for ident, code in hit:
+                    reports.append(ReportEvent(base + index, ident, code))
+            sid = nid
+        self._sid = sid
+        self.offset = base + len(data)
+        reports.sort()
+        return reports

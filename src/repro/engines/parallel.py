@@ -1,0 +1,116 @@
+"""Input-parallel scanning (the Parallel Automata Processor mechanism).
+
+The paper's capacity argument assumes "2x capacity (and 2x performance
+with input parallelization)" — Subramaniyan & Das's technique of splitting
+the input across automaton replicas.  The subtlety is cross-boundary
+matches: a segment cannot see matches that started in its predecessor.
+For automata with a *finite maximum match length* L the classic fix is
+overlap: each segment (except the first) is extended L-1 symbols to the
+left, and reports landing in the overlap are attributed to the previous
+segment's scan (deduplicated).
+
+:func:`split_with_overlap` computes the segmentation, :func:`parallel_scan`
+runs it (serially or on a process pool) and merges reports; a property test
+pins equality with the single-stream scan.  Automata with unbounded match
+length (cycles on a reporting path) cannot be segment-scanned this way and
+are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+from repro.engines.base import ReportEvent, RunResult
+from repro.engines.prefilter import max_match_length
+from repro.engines.vector import VectorEngine
+from repro.errors import EngineError
+
+__all__ = ["Segment", "split_with_overlap", "parallel_scan", "parallel_speedup_model"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One input segment: scan [scan_start, end), keep reports >= keep_from."""
+
+    scan_start: int
+    keep_from: int
+    end: int
+
+
+def split_with_overlap(
+    data_length: int, n_segments: int, overlap: int
+) -> list[Segment]:
+    """Partition ``[0, data_length)`` into segments with left overlap."""
+    if n_segments < 1:
+        raise ValueError("need at least one segment")
+    base = data_length // n_segments
+    segments = []
+    for index in range(n_segments):
+        keep_from = index * base
+        end = data_length if index == n_segments - 1 else (index + 1) * base
+        scan_start = max(0, keep_from - overlap)
+        if keep_from < end or index == 0:
+            segments.append(Segment(scan_start, keep_from, end))
+    return segments
+
+
+def _scan_segment(args):
+    automaton, data, segment = args
+    engine = VectorEngine(automaton)
+    result = engine.run(data[segment.scan_start : segment.end])
+    return [
+        ReportEvent(event.offset + segment.scan_start, event.ident, event.code)
+        for event in result.reports
+        if event.offset + segment.scan_start >= segment.keep_from
+    ]
+
+
+def parallel_scan(
+    automaton: Automaton,
+    data: bytes,
+    n_segments: int,
+    *,
+    pool=None,
+) -> RunResult:
+    """Scan ``data`` as ``n_segments`` independent overlapped segments.
+
+    Requires an unanchored automaton (anchored matches belong to segment 0
+    only and would need special casing) with finite match length.  Pass a
+    ``concurrent.futures`` executor as ``pool`` to actually parallelise;
+    the default runs segments serially (the semantics are the point — on a
+    spatial architecture each segment is a hardware replica).
+    """
+    from repro.core.elements import StartMode
+
+    if any(s.start is StartMode.START_OF_DATA for s in automaton.stes()):
+        raise EngineError("parallel_scan requires an unanchored automaton")
+    window = max_match_length(automaton)
+    if window is None:
+        raise EngineError(
+            "automaton has unbounded match length; segment overlap cannot "
+            "bound cross-boundary matches"
+        )
+    segments = split_with_overlap(len(data), n_segments, max(window - 1, 0))
+    tasks = [(automaton, data, segment) for segment in segments]
+    if pool is None:
+        parts = [_scan_segment(task) for task in tasks]
+    else:
+        parts = list(pool.map(_scan_segment, tasks))
+    reports = sorted(event for part in parts for event in part)
+    return RunResult(reports=reports, cycles=len(data))
+
+
+def parallel_speedup_model(
+    data_length: int, n_segments: int, match_window: int
+) -> float:
+    """Ideal speedup accounting for overlap re-scanning.
+
+    With L-1 symbols of overlap per segment the total work is
+    ``data_length + (n-1)(L-1)`` symbols spread over ``n`` replicas.
+    """
+    if n_segments < 1:
+        raise ValueError("need at least one segment")
+    overlap = max(match_window - 1, 0) if n_segments > 1 else 0
+    per_segment = data_length / n_segments + overlap
+    return data_length / per_segment

@@ -1,0 +1,118 @@
+"""Routing-architecture placement model (the Section II-B story).
+
+ANMLZoo's Levenshtein benchmark "maximizes the routing resources of the AP,
+but only uses 6% of the architecture's state capacity", because "the
+Micron D480's tree-based routing architecture caused this inefficiency,
+and ... a more traditional, 2D or island style routing fabric allowed for
+much higher utilization" (Wadden et al., FCCM'17).  This module models that
+effect analytically so the trade-off can be studied per benchmark:
+
+* every automaton state costs one state unit;
+* every state also costs *routing units* — superlinear in its fan-out on a
+  hierarchical (tree) fabric whose switch ports saturate, linear on an
+  island-style fabric;
+* a chip has fixed budgets of both; placement stops at whichever budget
+  saturates first, and ``utilization`` is the fraction of state capacity
+  actually used at that point.
+
+The model is deliberately simple (no geometric place-and-route) but
+reproduces the qualitative Section II-B result: mesh automata are
+routing-bound to single-digit state utilization on tree fabrics and far
+higher on island fabrics, while chain-structured benchmarks are
+state-bound on both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+
+__all__ = ["RoutingFabric", "PlacementReport", "TREE_FABRIC", "ISLAND_FABRIC", "place"]
+
+
+@dataclass(frozen=True)
+class RoutingFabric:
+    """A spatial fabric's state and routing budgets.
+
+    ``fanout_exponent`` models switch-port pressure: a state with fan-out
+    ``d`` consumes ``d ** fanout_exponent`` routing units.  Hierarchical
+    (tree) fabrics pay superlinearly for high fan-out because wide
+    activations must ascend the routing tree; island fabrics pay linearly.
+    """
+
+    name: str
+    state_capacity: int
+    routing_capacity: int
+    fanout_exponent: float
+
+    def routing_cost(self, automaton: Automaton) -> float:
+        """Routing units the automaton's activation wiring consumes."""
+        total = 0.0
+        for ident in automaton.idents():
+            total += automaton.out_degree(ident) ** self.fanout_exponent
+        for _src, _counter in automaton.reset_edges():
+            total += 1.0
+        return total
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """Outcome of placing one automaton on one fabric."""
+
+    fabric: str
+    states: int
+    routing_units: float
+    chips_required: int
+    bound: str  # "state" | "routing"
+    utilization: float  # fraction of one chip's state capacity used
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fabric}: {self.chips_required} chip(s), "
+            f"{self.bound}-bound, {100 * self.utilization:.1f}% state utilization"
+        )
+
+
+def place(automaton: Automaton, fabric: RoutingFabric) -> PlacementReport:
+    """Model placing ``automaton`` onto ``fabric``.
+
+    The automaton is spread over as many chips as its *dominant* resource
+    demands; utilization is states-per-chip over state capacity, which
+    drops below 100% exactly when routing is the binding constraint.
+    """
+    states = automaton.n_states
+    routing = fabric.routing_cost(automaton)
+    chips_by_state = max(1, math.ceil(states / fabric.state_capacity))
+    chips_by_routing = max(1, math.ceil(routing / fabric.routing_capacity))
+    chips = max(chips_by_state, chips_by_routing)
+    bound = "routing" if chips_by_routing > chips_by_state else "state"
+    utilization = states / (chips * fabric.state_capacity)
+    return PlacementReport(
+        fabric=fabric.name,
+        states=states,
+        routing_units=routing,
+        chips_required=chips,
+        bound=bound,
+        utilization=utilization,
+    )
+
+
+#: D480-like hierarchical routing: routing budget tuned so chain automata
+#: (fan-out ~1) are state-bound, while fan-out pays quadratically.
+TREE_FABRIC = RoutingFabric(
+    name="hierarchical (D480-like)",
+    state_capacity=49_152,
+    routing_capacity=98_304,  # 2 routing units per state slot
+    fanout_exponent=2.0,
+)
+
+#: Island-style 2D fabric (FPGA-like): same state budget, linear fan-out
+#: cost and a proportionally larger routing pool.
+ISLAND_FABRIC = RoutingFabric(
+    name="island-style 2D",
+    state_capacity=49_152,
+    routing_capacity=589_824,  # 12 routing units per state slot
+    fanout_exponent=1.0,
+)

@@ -1,0 +1,164 @@
+"""Pure-Python reference engine.
+
+This is the library's semantic oracle: the most direct possible encoding of
+the execution model in :mod:`repro.engines.base`.  Every other engine is
+property-tested against it.  Its per-cycle cost is proportional to the
+active set, which also makes it the faithful stand-in for VASim's
+performance behaviour in the Table III experiment (AP-padding states inflate
+the active set and therefore CPU runtime).
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import Automaton
+from repro.core.elements import CounterElement, CounterMode, STE, StartMode
+from repro.engines.base import Engine, ReportEvent, RunResult
+
+__all__ = ["ReferenceEngine", "ReferenceStream"]
+
+
+class _CounterState:
+    __slots__ = ("element", "count", "latched", "stopped")
+
+    def __init__(self, element: CounterElement) -> None:
+        self.element = element
+        self.count = 0
+        self.latched = False
+        self.stopped = False
+
+    def reset(self) -> None:
+        """Clear count and latch/stop state (the reset port firing)."""
+        self.count = 0
+        self.latched = False
+        self.stopped = False
+
+    def on_count_event(self) -> bool:
+        """Apply one count event; return True if the counter fires."""
+        if self.stopped:
+            return False
+        if self.latched:
+            return True
+        self.count += 1
+        if self.count >= self.element.target:
+            mode = self.element.mode
+            if mode is CounterMode.LATCH:
+                self.latched = True
+            elif mode is CounterMode.ROLLOVER:
+                self.count = 0
+            elif mode is CounterMode.STOP:
+                self.stopped = True
+            return True
+        return False
+
+
+class ReferenceEngine(Engine):
+    """Direct set-based simulation of a homogeneous automaton."""
+
+    def __init__(self, automaton: Automaton) -> None:
+        super().__init__(automaton)
+        self._stes: dict[str, STE] = {e.ident: e for e in automaton.stes()}
+        self._counters: dict[str, CounterElement] = {
+            e.ident: e for e in automaton.counters()
+        }
+        self._succ = {ident: automaton.successors(ident) for ident in automaton.idents()}
+        self._all_input = {
+            e.ident for e in automaton.stes() if e.start is StartMode.ALL_INPUT
+        }
+        self._start_of_data = {
+            e.ident for e in automaton.stes() if e.start is StartMode.START_OF_DATA
+        }
+        self._reset_feeds: dict[str, list[str]] = {}
+        for src, counter in automaton.reset_edges():
+            self._reset_feeds.setdefault(src, []).append(counter)
+
+    def stream(self, *, record_active: bool = False) -> "ReferenceStream":
+        """A streaming session: feed chunks, state persists between feeds."""
+        return ReferenceStream(self, record_active=record_active)
+
+    def run(self, data: bytes, *, record_active: bool = False) -> RunResult:
+        session = self.stream(record_active=record_active)
+        reports = session.feed(data)
+        return RunResult(
+            reports=reports,
+            cycles=session.offset,
+            active_per_cycle=session.active_per_cycle,
+        )
+
+
+class ReferenceStream:
+    """Persistent execution state for :class:`ReferenceEngine`.
+
+    ``feed`` consumes a chunk and returns the reports it produced (with
+    stream-global offsets); chunk boundaries are invisible to the automaton
+    (property-tested: any chunking yields the ``run()`` report stream).
+    """
+
+    def __init__(self, engine: ReferenceEngine, *, record_active: bool = False) -> None:
+        self._engine = engine
+        self.offset = 0
+        self.active_per_cycle: list[int] | None = [] if record_active else None
+        self._counter_state = {
+            ident: _CounterState(element)
+            for ident, element in engine._counters.items()
+        }
+        self._enabled: set[str] = set(engine._start_of_data) | set(engine._all_input)
+
+    def feed(self, data: bytes) -> list[ReportEvent]:
+        engine = self._engine
+        reports: list[ReportEvent] = []
+        active_counts = self.active_per_cycle
+        counter_state = self._counter_state
+        enabled = self._enabled
+        base = self.offset
+        for index, symbol in enumerate(data):
+            offset = base + index
+            if active_counts is not None:
+                active_counts.append(len(enabled))
+
+            fired: list[str] = []
+            counter_events: set[str] = set()
+            for ident in enabled:
+                ste = engine._stes[ident]
+                if ste.charset.matches(symbol):
+                    fired.append(ident)
+                    if ste.report:
+                        reports.append(ReportEvent(offset, ident, ste.report_code))
+
+            next_enabled: set[str] = set()
+            reset_events: set[str] = set()
+            for ident in fired:
+                for succ in engine._succ[ident]:
+                    if succ in engine._stes:
+                        next_enabled.add(succ)
+                    else:
+                        counter_events.add(succ)
+                for counter_ident in engine._reset_feeds.get(ident, ()):
+                    reset_events.add(counter_ident)
+
+            # Resets apply before this cycle's count events (Section XI
+            # extended-automata semantics).
+            for counter_ident in reset_events:
+                counter_state[counter_ident].reset()
+
+            # Counters: one count event per cycle with >= 1 matching predecessor.
+            for counter_ident in sorted(counter_events):
+                state = counter_state[counter_ident]
+                if state.on_count_event():
+                    element = state.element
+                    if element.report:
+                        reports.append(
+                            ReportEvent(offset, counter_ident, element.report_code)
+                        )
+                    for succ in engine._succ[counter_ident]:
+                        if succ in engine._stes:
+                            next_enabled.add(succ)
+                        # counter -> counter chains are not supported; the
+                        # Automaton builder never produces them.
+
+            next_enabled |= engine._all_input
+            enabled = next_enabled
+
+        self._enabled = enabled
+        self.offset = base + len(data)
+        reports.sort()
+        return reports

@@ -1,0 +1,126 @@
+"""Analytic performance/capacity model for spatial automata architectures.
+
+The paper's hardware numbers are themselves model-derived: REAPR FPGA
+throughput is "maximum virtual clock frequency multiplied by the number of
+input symbols", and Micron D480 comparisons are capacity comparisons against
+one chip's STE budget.  This module reproduces that analytic form so
+experiments like Table IV can put modelled spatial results next to measured
+CPU results.
+
+On a spatial architecture every state is a circuit, so throughput is
+independent of the active set (Section IV); the costs are *capacity* (does
+the automaton fit?) and *reconfiguration*.  Benchmarks larger than one chip
+are executed as sequential runs of the partitioned automaton, dividing
+throughput by the number of partitions — the evaluation approach the paper
+prescribes for over-capacity benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+
+__all__ = [
+    "SpatialModel",
+    "MICRON_D480",
+    "KINTEX_KU060",
+]
+
+
+@dataclass(frozen=True)
+class SpatialModel:
+    """An analytic spatial automata processor.
+
+    Parameters
+    ----------
+    name:
+        Human-readable architecture name.
+    state_capacity:
+        STEs that fit on one chip/configuration.
+    clock_hz:
+        Symbol clock at reference utilisation.
+    symbols_per_cycle:
+        Input symbols consumed per clock (striding/widening raise this).
+    routing_efficiency:
+        Fraction of ``state_capacity`` reachable before routing congestion
+        forces a new partition (models the D480 routing limits that
+        Section II-B discusses; 1.0 = no routing constraint).
+    fmax_derate_per_doubling:
+        Fractional clock loss per doubling of placed states beyond 1/16 of
+        capacity — a coarse stand-in for place-and-route fmax degradation on
+        FPGAs.  0 disables derating.
+    """
+
+    name: str
+    state_capacity: int
+    clock_hz: float
+    symbols_per_cycle: int = 1
+    routing_efficiency: float = 1.0
+    fmax_derate_per_doubling: float = 0.0
+
+    @property
+    def effective_capacity(self) -> int:
+        """States usable per partition once routing limits are applied."""
+        return max(1, int(self.state_capacity * self.routing_efficiency))
+
+    def chips_required(self, automaton: Automaton | int) -> int:
+        """Partitions (sequential runs) needed to execute the automaton."""
+        states = automaton if isinstance(automaton, int) else automaton.n_states
+        return max(1, math.ceil(states / self.effective_capacity))
+
+    def fits(self, automaton: Automaton | int) -> bool:
+        return self.chips_required(automaton) == 1
+
+    def utilization(self, automaton: Automaton | int) -> float:
+        """Fraction of one chip's state budget the automaton occupies."""
+        states = automaton if isinstance(automaton, int) else automaton.n_states
+        return states / self.state_capacity
+
+    def clock_for(self, automaton: Automaton | int) -> float:
+        """Modelled clock after fmax derating for the placed size."""
+        states = automaton if isinstance(automaton, int) else automaton.n_states
+        if self.fmax_derate_per_doubling <= 0 or states <= 0:
+            return self.clock_hz
+        per_partition = min(states, self.effective_capacity)
+        threshold = max(1, self.state_capacity // 16)
+        if per_partition <= threshold:
+            return self.clock_hz
+        doublings = math.log2(per_partition / threshold)
+        derate = (1.0 - self.fmax_derate_per_doubling) ** doublings
+        return self.clock_hz * derate
+
+    def throughput_bytes_per_sec(self, automaton: Automaton | int) -> float:
+        """Modelled steady-state input throughput for the whole automaton.
+
+        Over-capacity automata are run as ``chips_required`` sequential
+        passes over the input, dividing throughput accordingly.
+        """
+        passes = self.chips_required(automaton)
+        return self.clock_for(automaton) * self.symbols_per_cycle / passes
+
+    def runtime_seconds(self, automaton: Automaton | int, n_symbols: int) -> float:
+        """Modelled wall-clock time to stream ``n_symbols`` input symbols."""
+        return n_symbols / self.throughput_bytes_per_sec(automaton)
+
+
+#: Micron D480 Automata Processor: 49,152 STEs per chip at a 133 MHz symbol
+#: clock.  ``routing_efficiency`` reflects the hierarchical routing matrix
+#: that limited mesh benchmarks to a fraction of state capacity (Section II).
+MICRON_D480 = SpatialModel(
+    name="Micron D480 AP",
+    state_capacity=49_152,
+    clock_hz=133e6,
+    routing_efficiency=0.85,
+)
+
+#: Xilinx Kintex Ultrascale XCKU060 running REAPR-style automata overlays
+#: (Table IV's FPGA target): large capacity, higher clock, with fmax
+#: derating as designs fill the device.
+KINTEX_KU060 = SpatialModel(
+    name="Xilinx Kintex Ultrascale KU060 (REAPR)",
+    state_capacity=600_000,
+    clock_hz=250e6,
+    fmax_derate_per_doubling=0.08,
+)

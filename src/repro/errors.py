@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro (AutomataZoo reproduction) library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AutomatonError(ReproError):
+    """An automaton is structurally invalid (dangling edge, bad id, ...)."""
+
+
+class RegexError(ReproError):
+    """A regular expression could not be parsed or compiled."""
+
+
+class RegexUnsupportedError(RegexError):
+    """The expression uses a feature outside the supported PCRE subset.
+
+    Mirrors pcre2mnrl's behaviour of rejecting (rather than mis-compiling)
+    constructs like back-references: AutomataZoo only admits patterns its
+    open-source toolchain can compile.
+    """
+
+
+class PatternError(ReproError):
+    """A domain pattern (YARA, PROSITE, ClamAV, Snort, ...) is malformed."""
+
+
+class EngineError(ReproError):
+    """An execution engine was misused or hit an unrecoverable state."""
+
+
+class CapacityError(ReproError):
+    """An automaton does not fit the resources of a spatial architecture."""

@@ -1,0 +1,91 @@
+"""Synthetic tagged corpus (the Brill benchmark input).
+
+The Brill benchmark operates on a part-of-speech-tagged token stream (the
+paper uses the Brown corpus).  We synthesise one: a tag-bigram Markov model
+over a standard POS tag set emits tag sequences, and each token is encoded
+as a (word-class, tag) symbol pair so rules can reference both lexical and
+tag context.
+
+Symbol layout: tags occupy :data:`TAG_BASE`.., word classes occupy
+:data:`WORD_BASE`.. — disjoint ranges so patterns can use range charsets.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "POS_TAGS",
+    "TAG_BASE",
+    "WORD_BASE",
+    "N_WORD_CLASSES",
+    "tag_symbol",
+    "word_symbol",
+    "any_tag_range",
+    "any_word_range",
+    "generate_tagged_corpus",
+]
+
+#: A Brown-corpus-flavoured tag set.
+POS_TAGS = [
+    "NN", "NNS", "NNP", "VB", "VBD", "VBG", "VBN", "VBZ", "JJ", "JJR",
+    "RB", "DT", "IN", "PRP", "PRP$", "CC", "CD", "TO", "MD", "WDT",
+    "EX", "UH", "POS", "RP", "WP", "JJS", "RBR", "PDT", "SYM", "FW",
+]
+
+TAG_BASE = 1
+WORD_BASE = 64
+N_WORD_CLASSES = 180
+
+
+def tag_symbol(tag: str) -> int:
+    """The stream symbol for a POS tag."""
+    return TAG_BASE + POS_TAGS.index(tag)
+
+
+def word_symbol(word_class: int) -> int:
+    """The stream symbol for a word class (0 <= class < N_WORD_CLASSES)."""
+    if not 0 <= word_class < N_WORD_CLASSES:
+        raise ValueError(f"word class out of range: {word_class}")
+    return WORD_BASE + word_class
+
+
+def any_tag_range() -> tuple[int, int]:
+    """Inclusive symbol range covering every tag."""
+    return (TAG_BASE, TAG_BASE + len(POS_TAGS) - 1)
+
+
+def any_word_range() -> tuple[int, int]:
+    """Inclusive symbol range covering every word class."""
+    return (WORD_BASE, WORD_BASE + N_WORD_CLASSES - 1)
+
+
+def generate_tagged_corpus(
+    n_tokens: int = 20_000,
+    *,
+    seed: int = 0,
+) -> bytes:
+    """A (word, tag) symbol stream of ``n_tokens`` tokens.
+
+    Tags follow a random bigram Markov model (so tag contexts have
+    realistic non-uniform statistics); word classes are Zipf-distributed
+    and weakly correlated with the tag.
+    """
+    rng = random.Random(seed)
+    n_tags = len(POS_TAGS)
+    # random but fixed bigram preferences: each tag prefers a few successors
+    preferred = {
+        t: rng.sample(range(n_tags), 4) for t in range(n_tags)
+    }
+    word_weights = [1.0 / (1 + k) for k in range(N_WORD_CLASSES)]
+    out = bytearray()
+    tag = rng.randrange(n_tags)
+    for _ in range(n_tokens):
+        word = rng.choices(range(N_WORD_CLASSES), weights=word_weights, k=1)[0]
+        out.append(WORD_BASE + word)
+        out.append(TAG_BASE + tag)
+        if rng.random() < 0.7:
+            tag = rng.choice(preferred[tag])
+        else:
+            tag = rng.randrange(n_tags)
+    return bytes(out)

@@ -1,0 +1,160 @@
+"""Synthetic disk images and multimedia files.
+
+The ClamAV benchmark input is "a disk image including various files and two
+embedded virus fragments" (Section IV); the File Carving input is a stream
+of multimedia files with recoverable headers.  This module synthesises
+both: realistic-looking file bodies (text, PNG-like, JPEG-like, ZIP, MPEG)
+concatenated into one image, with a ground-truth listing of what lies
+where.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "FileEntry",
+    "DiskImage",
+    "make_text_file",
+    "make_png_like",
+    "make_jpeg_like",
+    "make_zip_file",
+    "make_mpeg2_stream",
+    "make_mp4_file",
+    "build_disk_image",
+]
+
+_WORDS = (
+    "report quarterly summary invoice draft notes meeting agenda backlog "
+    "release checklist design review budget forecast schedule minutes"
+).split()
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """Ground truth for one file inside a disk image."""
+
+    kind: str
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class DiskImage:
+    """A synthetic disk image plus its ground-truth file map."""
+
+    data: bytes
+    entries: tuple[FileEntry, ...]
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def make_text_file(rng: random.Random, size: int = 400) -> bytes:
+    words = []
+    while sum(len(w) + 1 for w in words) < size:
+        words.append(rng.choice(_WORDS))
+    body = " ".join(words)
+    return body.encode("latin-1")[:size]
+
+
+def make_png_like(rng: random.Random, size: int = 600) -> bytes:
+    header = b"\x89PNG\r\n\x1a\n" + b"\x00\x00\x00\rIHDR"
+    body = bytes(rng.randrange(256) for _ in range(size - len(header) - 12))
+    return header + body + b"\x00\x00\x00\x00IEND\xaeB`\x82"
+
+
+def make_jpeg_like(rng: random.Random, size: int = 500) -> bytes:
+    header = b"\xff\xd8\xff\xe0\x00\x10JFIF\x00"
+    body = bytes(rng.randrange(256) for _ in range(size - len(header) - 2))
+    return header + body + b"\xff\xd9"
+
+
+def make_zip_file(rng: random.Random, n_entries: int = 2) -> bytes:
+    """A structurally plausible ZIP: local headers with MS-DOS timestamps,
+    stored payloads, and an end-of-central-directory record."""
+    out = bytearray()
+    for index in range(n_entries):
+        name = f"file{index}.txt".encode()
+        payload = make_text_file(rng, rng.randint(40, 160))
+        # MS-DOS time: seconds/2 (0-29), minutes (0-59), hours (0-23)
+        dos_time = (rng.randint(0, 23) << 11) | (rng.randint(0, 59) << 5) | rng.randint(0, 29)
+        dos_date = ((2024 - 1980) << 9) | (rng.randint(1, 12) << 5) | rng.randint(1, 28)
+        out += struct.pack(
+            "<IHHHHHIIIHH",
+            0x04034B50,  # local file header signature "PK\x03\x04"
+            20, 0, 0,  # version, flags, method (stored)
+            dos_time, dos_date,
+            0,  # crc (unchecked by carvers)
+            len(payload), len(payload),
+            len(name), 0,
+        )
+        out += name + payload
+    out += struct.pack("<IHHHHIIH", 0x06054B50, 0, 0, n_entries, n_entries, 0, 0, 0)
+    return bytes(out)
+
+
+def make_mpeg2_stream(rng: random.Random, n_packs: int = 4) -> bytes:
+    """An MPEG-2 program-stream-like blob: pack start codes + payload."""
+    out = bytearray()
+    for _ in range(n_packs):
+        out += b"\x00\x00\x01\xba"  # pack header start code
+        out += bytes(rng.randrange(256) for _ in range(rng.randint(60, 180)))
+    out += b"\x00\x00\x01\xb9"  # program end code
+    return bytes(out)
+
+
+def make_mp4_file(rng: random.Random, size: int = 500) -> bytes:
+    """An MPEG-4-like file: ftyp box then an mdat box."""
+    ftyp = struct.pack(">I", 20) + b"ftypisom" + b"\x00\x00\x02\x00isom"
+    body_len = max(8, size - len(ftyp))
+    mdat = struct.pack(">I", body_len) + b"mdat"
+    payload = bytes(rng.randrange(256) for _ in range(body_len - 8))
+    return ftyp + mdat + payload
+
+
+_MAKERS = {
+    "text": make_text_file,
+    "png": make_png_like,
+    "jpeg": make_jpeg_like,
+    "zip": make_zip_file,
+    "mpeg2": make_mpeg2_stream,
+    "mp4": make_mp4_file,
+}
+
+
+def build_disk_image(
+    kinds: list[str],
+    *,
+    seed: int = 0,
+    slack: tuple[int, int] = (16, 64),
+    inserts: list[tuple[str, bytes]] | None = None,
+) -> DiskImage:
+    """Concatenate synthetic files (with random inter-file slack bytes).
+
+    ``inserts`` are extra labelled byte blobs (e.g. virus fragments) placed
+    between files; they appear in the ground truth with their label.
+    """
+    rng = random.Random(seed)
+    insert_queue = list(inserts or [])
+    out = bytearray()
+    entries: list[FileEntry] = []
+    for index, kind in enumerate(kinds):
+        maker = _MAKERS.get(kind)
+        if maker is None:
+            raise ValueError(f"unknown file kind {kind!r}")
+        blob = maker(rng)
+        entries.append(FileEntry(kind, len(out), len(blob)))
+        out += blob
+        out += bytes(rng.randrange(256) for _ in range(rng.randint(*slack)))
+        if insert_queue and (index % 2 == 1 or index == len(kinds) - 1):
+            label, payload = insert_queue.pop(0)
+            entries.append(FileEntry(label, len(out), len(payload)))
+            out += payload
+            out += bytes(rng.randrange(256) for _ in range(rng.randint(*slack)))
+    for label, payload in insert_queue:  # anything left over goes at the end
+        entries.append(FileEntry(label, len(out), len(payload)))
+        out += payload
+    return DiskImage(data=bytes(out), entries=tuple(entries))

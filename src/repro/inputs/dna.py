@@ -1,0 +1,50 @@
+"""Random DNA input stimulus (Hamming/Levenshtein/CRISPR benchmarks)."""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["DNA_ALPHABET", "random_dna", "random_dna_patterns", "plant_pattern"]
+
+#: The four base-pair symbols used by every DNA-driven benchmark.
+DNA_ALPHABET = b"ACGT"
+
+
+def random_dna(length: int, *, seed: int = 0) -> bytes:
+    """Uniform random DNA of ``length`` base pairs.
+
+    The paper drives mesh profiling with "1,000,000 random DNA base-pair
+    inputs"; this is that stimulus, deterministic per seed.
+    """
+    rng = random.Random(seed)
+    return bytes(rng.choice(DNA_ALPHABET) for _ in range(length))
+
+
+def random_dna_patterns(count: int, length: int, *, seed: int = 0) -> list[bytes]:
+    """``count`` independent random DNA pattern strings of ``length``."""
+    rng = random.Random(seed)
+    return [
+        bytes(rng.choice(DNA_ALPHABET) for _ in range(length)) for _ in range(count)
+    ]
+
+
+def plant_pattern(
+    stream: bytes,
+    pattern: bytes,
+    position: int,
+    *,
+    mutations: int = 0,
+    seed: int = 0,
+) -> bytes:
+    """Embed ``pattern`` into ``stream`` at ``position`` with ``mutations``
+    random substitutions — used to build inputs with known ground truth."""
+    if position < 0 or position + len(pattern) > len(stream):
+        raise ValueError("pattern does not fit at the requested position")
+    rng = random.Random(seed)
+    mutated = bytearray(pattern)
+    for index in rng.sample(range(len(pattern)), mutations):
+        alternatives = [b for b in DNA_ALPHABET if b != mutated[index]]
+        mutated[index] = rng.choice(alternatives)
+    out = bytearray(stream)
+    out[position : position + len(pattern)] = mutated
+    return bytes(out)

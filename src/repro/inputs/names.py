@@ -1,0 +1,119 @@
+"""Name generation and error models (the Entity Resolution input).
+
+AutomataZoo "builds an entirely new Entity Resolution toolchain with a name
+generator that can introduce arbitrary names of different formats, and also
+introduce various errors" (Section IV).  This module is that toolchain's
+input half: a syllable-based name generator, record formatting variants,
+and a typo model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["Name", "generate_names", "format_record", "corrupt", "build_name_stream"]
+
+_ONSETS = "b br c ch d dr f g gr h j k kl l m n p r s sh st t th v w z".split()
+_VOWELS = "a e i o u ai ea ou".split()
+_CODAS = "b d k l m n r s t th x".split()
+
+RECORD_SEP = b"\n"
+
+
+@dataclass(frozen=True)
+class Name:
+    first: str
+    last: str
+
+    @property
+    def full(self) -> str:
+        return f"{self.first} {self.last}"
+
+
+def _syllable(rng: random.Random) -> str:
+    s = rng.choice(_ONSETS) + rng.choice(_VOWELS)
+    if rng.random() < 0.5:
+        s += rng.choice(_CODAS)
+    return s
+
+
+def _word(rng: random.Random, n_syllables: int) -> str:
+    return "".join(_syllable(rng) for _ in range(n_syllables)).capitalize()
+
+
+def generate_names(count: int, *, seed: int = 0) -> list[Name]:
+    """``count`` unique synthetic names."""
+    rng = random.Random(seed)
+    names: list[Name] = []
+    seen: set[str] = set()
+    while len(names) < count:
+        name = Name(_word(rng, rng.randint(1, 2)), _word(rng, rng.randint(1, 3)))
+        if name.full in seen:
+            continue
+        seen.add(name.full)
+        names.append(name)
+    return names
+
+
+def format_record(name: Name, variant: int) -> str:
+    """Render one of the record format variants."""
+    if variant == 0:
+        return name.full
+    if variant == 1:
+        return f"{name.first[0]}. {name.last}"
+    if variant == 2:
+        return f"{name.last}, {name.first}"
+    raise ValueError(f"unknown format variant {variant}")
+
+
+def corrupt(text: str, rng: random.Random, n_errors: int = 1) -> str:
+    """Apply ``n_errors`` random character substitutions/insertions/deletions."""
+    chars = list(text)
+    for _ in range(n_errors):
+        if not chars:
+            break
+        op = rng.choice(("sub", "ins", "del"))
+        index = rng.randrange(len(chars))
+        letter = rng.choice("abcdefghijklmnopqrstuvwxyz")
+        if op == "sub":
+            chars[index] = letter
+        elif op == "ins":
+            chars.insert(index, letter)
+        else:
+            del chars[index]
+    return "".join(chars)
+
+
+def build_name_stream(
+    names: list[Name],
+    n_records: int,
+    *,
+    seed: int = 0,
+    duplicate_fraction: float = 0.15,
+    error_fraction: float = 0.5,
+) -> tuple[bytes, list[tuple[int, int]]]:
+    """A newline-separated record stream with noisy duplicates.
+
+    Returns ``(stream, duplicates)`` where each duplicate is
+    ``(record_index, name_index)`` ground truth: a record that re-mentions
+    a name already in the database (possibly reformatted or corrupted).
+    """
+    rng = random.Random(seed)
+    records: list[str] = []
+    duplicates: list[tuple[int, int]] = []
+    for index in range(n_records):
+        if rng.random() < duplicate_fraction:
+            name_index = rng.randrange(len(names))
+            text = format_record(names[name_index], rng.choice((0, 0, 1, 2)))
+            if rng.random() < error_fraction:
+                text = corrupt(text, rng, 1)
+            duplicates.append((index, name_index))
+            records.append(text)
+        else:
+            filler = Name(
+                _word(rng, rng.randint(1, 2)), _word(rng, rng.randint(1, 3))
+            )
+            records.append(filler.full)
+    stream = RECORD_SEP.join(r.encode("latin-1") for r in records) + RECORD_SEP
+    return stream, duplicates

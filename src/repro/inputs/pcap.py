@@ -1,0 +1,70 @@
+"""Synthetic packet-capture stream (the Snort benchmark input).
+
+Builds an HTTP-heavy byte stream — request lines, headers, URL-encoded
+queries, and occasional binary payloads — approximating the payload bytes a
+PCAP of web traffic feeds a NIDS.  A small fraction of packets embed
+"suspicious" tokens so the specific (non-modifier) Snort rules fire
+occasionally, as in real traffic.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["synthetic_pcap", "SUSPICIOUS_TOKENS"]
+
+_PATH_WORDS = [
+    "index", "home", "login", "api", "v2", "search", "img", "css", "js",
+    "admin", "cart", "static", "posts", "user", "data",
+]
+_HOSTS = ["example.com", "test.net", "site.org", "cdn.example.com"]
+_AGENTS = [
+    "Mozilla/5.0 (X11; Linux x86_64)",
+    "curl/8.1.2",
+    "python-requests/2.31",
+    "Googlebot/2.1",
+]
+
+#: Tokens the specific Snort rules look for; planted in ~2% of packets.
+SUSPICIOUS_TOKENS = [
+    b"cmd.exe",
+    b"/etc/passwd",
+    b"SELECT * FROM",
+    b"%c0%af",
+    b"powershell -enc",
+    b"<script>alert",
+]
+
+
+def _http_packet(rng: random.Random) -> bytes:
+    method = rng.choice(["GET", "POST", "GET", "HEAD"])
+    path = "/" + "/".join(rng.sample(_PATH_WORDS, rng.randint(1, 3)))
+    if rng.random() < 0.5:
+        path += "?" + "&".join(
+            f"{rng.choice(_PATH_WORDS)}={rng.randint(0, 9999)}"
+            for _ in range(rng.randint(1, 3))
+        )
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {rng.choice(_HOSTS)}",
+        f"User-Agent: {rng.choice(_AGENTS)}",
+        f"Content-Length: {rng.randint(0, 4096)}",
+        "",
+    ]
+    packet = ("\r\n".join(lines) + "\r\n").encode("latin-1")
+    if rng.random() < 0.3:
+        packet += bytes(rng.randrange(256) for _ in range(rng.randint(16, 128)))
+    if rng.random() < 0.02:
+        packet += rng.choice(SUSPICIOUS_TOKENS) + b"\r\n"
+    return packet
+
+
+def synthetic_packets(n_packets: int = 500, *, seed: int = 0) -> list[bytes]:
+    """Individual packet payloads (for per-packet rule evaluation)."""
+    rng = random.Random(seed)
+    return [_http_packet(rng) for _ in range(n_packets)]
+
+
+def synthetic_pcap(n_packets: int = 500, *, seed: int = 0) -> bytes:
+    """Concatenated payload bytes of ``n_packets`` synthetic packets."""
+    return b"".join(synthetic_packets(n_packets, seed=seed))

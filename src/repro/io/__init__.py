@@ -1,0 +1,17 @@
+"""Automata interchange formats: MNRL (JSON) and ANML (XML)."""
+
+from repro.io.anml import from_anml, to_anml
+from repro.io.dot import to_dot
+from repro.io.mnrl import from_mnrl, to_mnrl
+from repro.io.mnrl import dumps as mnrl_dumps
+from repro.io.mnrl import loads as mnrl_loads
+
+__all__ = [
+    "from_anml",
+    "from_mnrl",
+    "mnrl_dumps",
+    "mnrl_loads",
+    "to_anml",
+    "to_dot",
+    "to_mnrl",
+]

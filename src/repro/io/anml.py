@@ -1,0 +1,156 @@
+"""ANML (Automata Network Markup Language) serialization.
+
+ANML is Micron's XML format for AP automata and the format ANMLZoo shipped
+its benchmarks in.  This module writes and reads the dialect the
+benchmarks use: ``state-transition-element`` with ``symbol-set``,
+``start`` (``start-of-data`` / ``all-input``), ``activate-on-match`` edges
+and ``report-on-match``; plus ``counter`` elements with ``target`` /
+``at-target`` and ``activate-on-target`` edges.
+
+Report codes are stored in the ``reportcode`` attribute as strings; ints
+are recovered on load, anything else comes back as a string.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import CounterElement, CounterMode, STE, StartMode
+from repro.errors import ReproError
+from repro.regex.charclass import parse_class
+
+__all__ = ["to_anml", "from_anml"]
+
+_START_ATTR = {
+    StartMode.START_OF_DATA: "start-of-data",
+    StartMode.ALL_INPUT: "all-input",
+}
+_START_OF = {v: k for k, v in _START_ATTR.items()}
+
+_AT_TARGET = {
+    CounterMode.LATCH: "latch",
+    CounterMode.ROLLOVER: "roll-over",
+    CounterMode.STOP: "pulse",
+}
+_MODE_OF = {v: k for k, v in _AT_TARGET.items()}
+
+
+def _symbol_set(charset: CharSet) -> str:
+    parts = []
+    for lo, hi in charset.ranges():
+        if lo == hi:
+            parts.append(f"\\x{lo:02x}")
+        else:
+            parts.append(f"\\x{lo:02x}-\\x{hi:02x}")
+    return "[" + "".join(parts) + "]"
+
+
+def to_anml(automaton: Automaton) -> str:
+    """Serialize an automaton to an ANML XML string."""
+    root = ET.Element("anml", version="1.0")
+    network = ET.SubElement(root, "automata-network", id=automaton.name)
+    resets: dict[str, list[str]] = {}
+    for src, counter in automaton.reset_edges():
+        resets.setdefault(src, []).append(counter)
+    for element in automaton.elements():
+        if isinstance(element, STE):
+            attrs = {"id": element.ident, "symbol-set": _symbol_set(element.charset)}
+            if element.start in _START_ATTR:
+                attrs["start"] = _START_ATTR[element.start]
+            node = ET.SubElement(network, "state-transition-element", attrs)
+            if element.report:
+                report_attrs = {}
+                if element.report_code is not None:
+                    report_attrs["reportcode"] = str(element.report_code)
+                ET.SubElement(node, "report-on-match", report_attrs)
+            for dst in automaton.successors(element.ident):
+                ET.SubElement(node, "activate-on-match", element=dst)
+            for counter in resets.get(element.ident, ()):
+                ET.SubElement(
+                    node, "activate-on-match", element=counter, port="reset"
+                )
+        elif isinstance(element, CounterElement):
+            node = ET.SubElement(
+                network,
+                "counter",
+                id=element.ident,
+                target=str(element.target),
+                **{"at-target": _AT_TARGET[element.mode]},
+            )
+            if element.report:
+                report_attrs = {}
+                if element.report_code is not None:
+                    report_attrs["reportcode"] = str(element.report_code)
+                ET.SubElement(node, "report-on-target", report_attrs)
+            for dst in automaton.successors(element.ident):
+                ET.SubElement(node, "activate-on-target", element=dst)
+        else:  # pragma: no cover
+            raise ReproError(f"cannot serialise element {element!r}")
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _parse_code(text: str | None):
+    if text is None:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def from_anml(text: str) -> Automaton:
+    """Parse an ANML XML string into an automaton."""
+    root = ET.fromstring(text)
+    network = root.find("automata-network")
+    if network is None:
+        raise ReproError("no <automata-network> in ANML document")
+    automaton = Automaton(network.get("id", "anml"))
+    edges: list[tuple[str, str]] = []
+    reset_wires: list[tuple[str, str]] = []
+    for node in network:
+        ident = node.get("id")
+        if ident is None:
+            raise ReproError(f"element without id: {node.tag}")
+        if node.tag == "state-transition-element":
+            symbol_set = node.get("symbol-set", "")
+            if not symbol_set.startswith("["):
+                raise ReproError(f"bad symbol-set {symbol_set!r}")
+            charset, end = parse_class(symbol_set, 1)
+            if end != len(symbol_set):
+                raise ReproError(f"trailing junk in symbol-set {symbol_set!r}")
+            report = node.find("report-on-match")
+            automaton.add_ste(
+                ident,
+                charset,
+                start=_START_OF.get(node.get("start", ""), StartMode.NONE),
+                report=report is not None,
+                report_code=_parse_code(report.get("reportcode")) if report is not None else None,
+            )
+            for act in node.findall("activate-on-match"):
+                if act.get("port") == "reset":
+                    reset_wires.append((ident, act.get("element")))
+                else:
+                    edges.append((ident, act.get("element")))
+        elif node.tag == "counter":
+            report = node.find("report-on-target")
+            automaton.add_counter(
+                ident,
+                int(node.get("target", "1")),
+                mode=_MODE_OF.get(node.get("at-target", "latch")),
+                report=report is not None,
+                report_code=_parse_code(report.get("reportcode")) if report is not None else None,
+            )
+            edges.extend(
+                (ident, act.get("element"))
+                for act in node.findall("activate-on-target")
+            )
+        else:
+            raise ReproError(f"unsupported ANML element: {node.tag!r}")
+    for src, dst in edges:
+        automaton.add_edge(src, dst)
+    for src, counter in reset_wires:
+        automaton.add_reset_edge(src, counter)
+    return automaton

@@ -1,0 +1,71 @@
+"""Graphviz DOT export for automata (debugging and documentation).
+
+Renders homogeneous automata in the visual vocabulary automata-processing
+papers use: boxes labelled with the state's character set, doubled borders
+for reporting states, arrow-less entry markers for start states, diamonds
+for counters, and dashed edges for reset wires.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import CounterElement, STE, StartMode
+
+__all__ = ["to_dot"]
+
+
+def _charset_label(charset: CharSet, max_len: int = 16) -> str:
+    if charset.is_full():
+        return "*"
+    label = repr(charset)[len("CharSet[") : -1]
+    if len(label) > max_len:
+        label = label[: max_len - 1] + "…"
+    return label
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(automaton: Automaton, *, max_states: int = 2000) -> str:
+    """Render ``automaton`` as a DOT digraph string.
+
+    Refuses automata above ``max_states`` (layouts degrade into hairballs;
+    raise the cap deliberately if needed).
+    """
+    if automaton.n_states > max_states:
+        raise ValueError(
+            f"automaton has {automaton.n_states} states; refusing to render "
+            f"more than {max_states} (pass max_states= to override)"
+        )
+    lines = [f'digraph "{_escape(automaton.name)}" {{', "  rankdir=LR;"]
+    for element in automaton.elements():
+        ident = _escape(element.ident)
+        if isinstance(element, STE):
+            label = _escape(_charset_label(element.charset))
+            attrs = [f'label="{ident}\\n{label}"', "shape=box"]
+            if element.report:
+                attrs.append("peripheries=2")
+            if element.start is StartMode.ALL_INPUT:
+                attrs.append('style=filled fillcolor="#d0e8ff"')
+            elif element.start is StartMode.START_OF_DATA:
+                attrs.append('style=filled fillcolor="#d8ffd8"')
+        else:
+            assert isinstance(element, CounterElement)
+            attrs = [
+                f'label="{ident}\\ncount>={element.target}\\n{element.mode.value}"',
+                "shape=diamond",
+            ]
+            if element.report:
+                attrs.append("peripheries=2")
+        lines.append(f'  "{ident}" [{" ".join(attrs)}];')
+    for src, dst in automaton.edges():
+        lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}";')
+    for src, counter in automaton.reset_edges():
+        lines.append(
+            f'  "{_escape(src)}" -> "{_escape(counter)}" '
+            f'[style=dashed label="rst"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

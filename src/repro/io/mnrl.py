@@ -1,0 +1,153 @@
+"""MNRL (MNCaRT Network Representation Language) serialization.
+
+MNRL is the JSON automata interchange format of the MNCaRT ecosystem the
+paper standardises on ("MNCaRT includes the VASim automata SDK and
+pcre2mnrl, a regular expression to automata compiler").  This module
+exports/imports the subset MNRL uses for homogeneous automata:
+
+* ``hState`` nodes — homogeneous states with a ``symbolSet`` attribute,
+  ``enable`` semantics (``onActivateIn`` / ``onStartAndActivateIn`` /
+  ``always``), and optional reporting with a ``reportId``;
+* ``upCounter`` nodes — threshold counters with ``target`` and ``mode``.
+
+Report ids survive a round trip when they are JSON-native (str/int/float/
+bool/None/lists); tuples come back as lists (JSON has no tuple type).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import CounterElement, CounterMode, STE, StartMode
+from repro.errors import ReproError
+from repro.regex.charclass import parse_class
+
+__all__ = ["to_mnrl", "from_mnrl", "dumps", "loads"]
+
+_ENABLE_OF = {
+    StartMode.NONE: "onActivateIn",
+    StartMode.START_OF_DATA: "onStartAndActivateIn",
+    StartMode.ALL_INPUT: "always",
+}
+_START_OF = {v: k for k, v in _ENABLE_OF.items()}
+
+_MODE_OF = {
+    CounterMode.LATCH: "latch",
+    CounterMode.ROLLOVER: "rollover",
+    CounterMode.STOP: "stop",
+}
+_COUNTER_MODE_OF = {v: k for k, v in _MODE_OF.items()}
+
+
+def _symbol_set(charset: CharSet) -> str:
+    """Render a charset as an MNRL symbolSet class string."""
+    if charset.is_full():
+        return r"[\x00-\xff]"
+    parts = []
+    for lo, hi in charset.ranges():
+        if lo == hi:
+            parts.append(f"\\x{lo:02x}")
+        else:
+            parts.append(f"\\x{lo:02x}-\\x{hi:02x}")
+    return "[" + "".join(parts) + "]"
+
+
+def _parse_symbol_set(text: str) -> CharSet:
+    if not text.startswith("[") or not text.endswith("]"):
+        raise ReproError(f"bad symbolSet: {text!r}")
+    charset, end = parse_class(text, 1)
+    if end != len(text):
+        raise ReproError(f"trailing characters in symbolSet: {text!r}")
+    return charset
+
+
+def to_mnrl(automaton: Automaton) -> dict:
+    """Export an automaton as an MNRL document (a JSON-ready dict)."""
+    reset_targets: dict[str, list[str]] = {}
+    for src, counter in automaton.reset_edges():
+        reset_targets.setdefault(src, []).append(counter)
+    nodes = []
+    for element in automaton.elements():
+        activate = [
+            {"id": dst, "portId": "i"} for dst in automaton.successors(element.ident)
+        ]
+        activate.extend(
+            {"id": counter, "portId": "rst"}
+            for counter in reset_targets.get(element.ident, ())
+        )
+        node: dict = {
+            "id": element.ident,
+            "report": bool(element.report),
+            "outputDefs": [{"portId": "o", "width": 1, "activate": activate}],
+            "inputDefs": [{"portId": "i", "width": 1}],
+        }
+        if element.report and element.report_code is not None:
+            node["reportId"] = element.report_code
+        if isinstance(element, STE):
+            node["type"] = "hState"
+            node["enable"] = _ENABLE_OF[element.start]
+            node["attributes"] = {
+                "symbolSet": _symbol_set(element.charset),
+                "latched": False,
+            }
+        elif isinstance(element, CounterElement):
+            node["type"] = "upCounter"
+            node["enable"] = "onActivateIn"
+            node["attributes"] = {
+                "threshold": element.target,
+                "mode": _MODE_OF[element.mode],
+            }
+        else:  # pragma: no cover - no other element types exist
+            raise ReproError(f"cannot serialise element {element!r}")
+        nodes.append(node)
+    return {"id": automaton.name, "nodes": nodes}
+
+
+def from_mnrl(document: dict) -> Automaton:
+    """Import an MNRL document produced by :func:`to_mnrl` (or compatible)."""
+    automaton = Automaton(document.get("id", "mnrl"))
+    nodes = document.get("nodes", [])
+    for node in nodes:
+        ident = node["id"]
+        report = bool(node.get("report", False))
+        code = node.get("reportId")
+        node_type = node.get("type")
+        attributes = node.get("attributes", {})
+        if node_type == "hState":
+            automaton.add_ste(
+                ident,
+                _parse_symbol_set(attributes["symbolSet"]),
+                start=_START_OF.get(node.get("enable", "onActivateIn"), StartMode.NONE),
+                report=report,
+                report_code=code,
+            )
+        elif node_type == "upCounter":
+            automaton.add_counter(
+                ident,
+                int(attributes["threshold"]),
+                mode=_COUNTER_MODE_OF.get(attributes.get("mode", "latch")),
+                report=report,
+                report_code=code,
+            )
+        else:
+            raise ReproError(f"unsupported MNRL node type: {node_type!r}")
+    for node in nodes:
+        for output in node.get("outputDefs", []):
+            for target in output.get("activate", []):
+                if target.get("portId") == "rst":
+                    automaton.add_reset_edge(node["id"], target["id"])
+                else:
+                    automaton.add_edge(node["id"], target["id"])
+    return automaton
+
+
+def dumps(automaton: Automaton, **json_kwargs) -> str:
+    """Serialize to an MNRL JSON string."""
+    return json.dumps(to_mnrl(automaton), **json_kwargs)
+
+
+def loads(text: str) -> Automaton:
+    """Parse an MNRL JSON string."""
+    return from_mnrl(json.loads(text))

@@ -1,0 +1,15 @@
+"""From-scratch ML substrate: dataset, CART trees, random forests."""
+
+from repro.ml.dataset import DigitDataset, make_digits, select_features
+from repro.ml.forest import RandomForest
+from repro.ml.tree import DecisionTree, TreeNode, TreePath
+
+__all__ = [
+    "DecisionTree",
+    "DigitDataset",
+    "RandomForest",
+    "TreeNode",
+    "TreePath",
+    "make_digits",
+    "select_features",
+]

@@ -1,0 +1,142 @@
+"""Synthetic handwritten-digit-like dataset (MNIST substitute).
+
+The Random Forest benchmarks (Table II) are trained on MNIST, which is not
+shippable here; this module renders procedural digit glyphs on a 28x28
+grid — seven-segment-style strokes with random shift, thickness jitter and
+pixel noise — giving a 784-feature, 10-class problem with the properties
+the experiments need: accuracy that *increases* with the number of selected
+features and with tree size, while staying below 100%.
+
+Feature selection mirrors the paper's "number of features" hyperparameter:
+:func:`select_features` ranks pixels by a class-separability F-score and
+keeps the top k, so variant A (270 features) genuinely sees more signal
+than variant B (200).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DigitDataset", "make_digits", "select_features"]
+
+SIDE = 28
+N_FEATURES = SIDE * SIDE
+
+# Seven-segment layout: segments A (top), B (top-right), C (bottom-right),
+# D (bottom), E (bottom-left), F (top-left), G (middle).
+_SEGMENTS = {
+    "A": ((4, 6), (4, 21)),
+    "B": ((4, 21), (13, 21)),
+    "C": ((13, 21), (23, 21)),
+    "D": ((23, 6), (23, 21)),
+    "E": ((13, 6), (23, 6)),
+    "F": ((4, 6), (13, 6)),
+    "G": ((13, 6), (13, 21)),
+}
+
+_DIGIT_SEGMENTS = {
+    0: "ABCDEF",
+    1: "BC",
+    2: "ABGED",
+    3: "ABGCD",
+    4: "FGBC",
+    5: "AFGCD",
+    6: "AFGECD",
+    7: "ABC",
+    8: "ABCDEFG",
+    9: "ABCDFG",
+}
+
+
+@dataclass(frozen=True)
+class DigitDataset:
+    """Quantised (uint8) feature matrix plus labels, split train/test."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def n_features(self) -> int:
+        return self.train_x.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.train_y.max()) + 1
+
+
+def _draw_segment(image: np.ndarray, start, end, thickness: int) -> None:
+    (r0, c0), (r1, c1) = start, end
+    steps = max(abs(r1 - r0), abs(c1 - c0)) + 1
+    rows = np.linspace(r0, r1, steps).round().astype(int)
+    cols = np.linspace(c0, c1, steps).round().astype(int)
+    half = thickness // 2
+    for dr in range(-half, half + 1):
+        for dc in range(-half, half + 1):
+            rr = np.clip(rows + dr, 0, SIDE - 1)
+            cc = np.clip(cols + dc, 0, SIDE - 1)
+            image[rr, cc] = 255
+
+
+def _render_digit(digit: int, rng: np.random.Generator) -> np.ndarray:
+    image = np.zeros((SIDE, SIDE), dtype=np.float64)
+    thickness = int(rng.integers(2, 5))
+    for name in _DIGIT_SEGMENTS[digit]:
+        _draw_segment(image, *_SEGMENTS[name], thickness)
+    # Random shift keeps pixel-feature identities fuzzy across samples.
+    shift_r = int(rng.integers(-2, 3))
+    shift_c = int(rng.integers(-2, 3))
+    image = np.roll(np.roll(image, shift_r, axis=0), shift_c, axis=1)
+    noise = rng.normal(0, 40, size=image.shape)
+    image = np.clip(image + noise, 0, 255)
+    # Random pixel dropout mimics stroke breaks.
+    dropout = rng.random(image.shape) < 0.05
+    image[dropout] = 0
+    return image
+
+
+def make_digits(
+    n_train: int = 2000,
+    n_test: int = 500,
+    *,
+    seed: int = 1234,
+) -> DigitDataset:
+    """Generate a balanced synthetic digit dataset."""
+    rng = np.random.default_rng(seed)
+
+    def batch(count: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = np.arange(count) % 10
+        rng.shuffle(labels)
+        rows = np.empty((count, N_FEATURES), dtype=np.uint8)
+        for i, label in enumerate(labels):
+            rows[i] = _render_digit(int(label), rng).reshape(-1).astype(np.uint8)
+        return rows, labels.astype(np.int64)
+
+    train_x, train_y = batch(n_train)
+    test_x, test_y = batch(n_test)
+    return DigitDataset(train_x, train_y, test_x, test_y)
+
+
+def select_features(x: np.ndarray, y: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the top-k features by a one-way ANOVA-style F-score.
+
+    Scores between-class variance of feature means against within-class
+    variance; higher means the pixel separates classes better.
+    """
+    if k > x.shape[1]:
+        raise ValueError(f"k={k} exceeds feature count {x.shape[1]}")
+    classes = np.unique(y)
+    overall_mean = x.mean(axis=0)
+    between = np.zeros(x.shape[1])
+    within = np.zeros(x.shape[1])
+    for cls in classes:
+        rows = x[y == cls].astype(np.float64)
+        class_mean = rows.mean(axis=0)
+        between += rows.shape[0] * (class_mean - overall_mean) ** 2
+        within += ((rows - class_mean) ** 2).sum(axis=0)
+    score = between / (within + 1e-9)
+    top = np.argsort(-score)[:k]
+    return np.sort(top)

@@ -1,0 +1,71 @@
+"""Random Forest training (ensemble of CART trees, majority vote)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.tree import DecisionTree, TreePath
+
+__all__ = ["RandomForest"]
+
+
+@dataclass
+class RandomForest:
+    """Bagged ensemble of :class:`DecisionTree` classifiers.
+
+    The paper's benchmarks use 20 trees and vary ``max_leaves`` and the
+    feature count (features are selected *before* training; see
+    :func:`repro.ml.dataset.select_features`).
+    """
+
+    n_trees: int = 20
+    max_leaves: int = 400
+    features_per_split: int | None = None  # None = sqrt(n_features)
+    min_samples_leaf: int = 1
+    seed: int = 0
+    trees: list[DecisionTree] = field(default_factory=list, repr=False)
+    n_classes: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForest":
+        rng = np.random.default_rng(self.seed)
+        self.n_classes = int(y.max()) + 1
+        per_split = self.features_per_split
+        if per_split is None:
+            per_split = max(1, int(np.sqrt(x.shape[1])))
+        self.trees = []
+        for t in range(self.n_trees):
+            rows = rng.integers(0, len(x), size=len(x))  # bootstrap sample
+            tree = DecisionTree(
+                max_leaves=self.max_leaves,
+                features_per_split=per_split,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=int(rng.integers(0, 2**31)),
+            )
+            tree.fit(x[rows], y[rows])
+            self.trees.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("forest is not fitted")
+        votes = np.zeros((len(x), self.n_classes), dtype=np.int64)
+        for tree in self.trees:
+            predictions = tree.predict(x)
+            votes[np.arange(len(x)), predictions] += 1
+        return votes.argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == y).mean())
+
+    def total_leaves(self) -> int:
+        return sum(tree.leaf_count() for tree in self.trees)
+
+    def all_paths(self) -> list[tuple[int, TreePath]]:
+        """Every (tree_index, path) pair — the automata conversion input."""
+        return [
+            (index, path)
+            for index, tree in enumerate(self.trees)
+            for path in tree.paths()
+        ]

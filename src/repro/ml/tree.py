@@ -1,0 +1,251 @@
+"""CART decision trees over quantised (uint8) features.
+
+A from-scratch replacement for scikit-learn's tree learner, supporting the
+two hyperparameters the Random Forest benchmarks vary (Table II): the
+feature subset presented to the model and the maximum number of leaves.
+Trees grow *best-first* (largest impurity decrease next), matching
+scikit-learn's ``max_leaf_nodes`` semantics, so "max leaves" shapes model
+quality the same way as in the paper.
+
+Splits are ``feature <= threshold`` with thresholds on the 0..255 quantised
+scale; split search is histogram-based (class-count histograms over the 256
+bins, scanned cumulatively), which keeps pure-numpy training fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecisionTree", "TreeNode", "TreePath"]
+
+
+@dataclass
+class TreeNode:
+    """One node: internal (feature/threshold) or leaf (label)."""
+
+    node_id: int
+    feature: int | None = None
+    threshold: int | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    label: int | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+@dataclass(frozen=True)
+class TreePath:
+    """A root-to-leaf path as per-feature value intervals.
+
+    ``bounds`` maps feature index -> inclusive (lo, hi) admissible value
+    range on the 0..255 scale; features not present are unconstrained.
+    This is the unit the automata conversion consumes: one path = one
+    chain = one subgraph (Section VI).
+    """
+
+    bounds: tuple[tuple[int, tuple[int, int]], ...]
+    label: int
+
+    def as_dict(self) -> dict[int, tuple[int, int]]:
+        return dict(self.bounds)
+
+
+def _gini_from_counts(counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+    """Gini impurity per threshold from cumulative class counts."""
+    with np.errstate(invalid="ignore", divide="ignore"):
+        proportions = counts / totals[:, None]
+        gini = 1.0 - np.nansum(proportions**2, axis=1)
+    gini[totals == 0] = 0.0
+    return gini
+
+
+@dataclass
+class _Candidate:
+    impurity_decrease: float
+    order: int
+    node: TreeNode
+    rows: np.ndarray
+    feature: int
+    threshold: int
+
+    def __lt__(self, other: "_Candidate") -> bool:
+        # heapq is a min-heap; invert for best-first growth.
+        if self.impurity_decrease != other.impurity_decrease:
+            return self.impurity_decrease > other.impurity_decrease
+        return self.order < other.order
+
+
+@dataclass
+class DecisionTree:
+    """A CART classifier with best-first growth and a leaf budget."""
+
+    max_leaves: int = 400
+    features_per_split: int | None = None
+    min_samples_leaf: int = 1
+    seed: int = 0
+    root: TreeNode | None = field(default=None, repr=False)
+    n_classes: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        if x.dtype != np.uint8:
+            raise ValueError("features must be quantised to uint8")
+        if self.max_leaves < 2:
+            raise ValueError("max_leaves must be >= 2")
+        rng = np.random.default_rng(self.seed)
+        self.n_classes = int(y.max()) + 1
+        ids = itertools.count()
+        order = itertools.count()
+        self.root = TreeNode(next(ids))
+        all_rows = np.arange(x.shape[0])
+        self._set_leaf(self.root, y, all_rows)
+
+        heap: list[_Candidate] = []
+        first = self._best_split(x, y, all_rows, rng, next(order), self.root)
+        if first is not None:
+            heapq.heappush(heap, first)
+        leaves = 1
+        while heap and leaves < self.max_leaves:
+            candidate = heapq.heappop(heap)
+            node, rows = candidate.node, candidate.rows
+            mask = x[rows, candidate.feature] <= candidate.threshold
+            left_rows, right_rows = rows[mask], rows[~mask]
+            if len(left_rows) < self.min_samples_leaf or len(right_rows) < self.min_samples_leaf:
+                continue
+            node.feature = candidate.feature
+            node.threshold = candidate.threshold
+            node.label = None
+            node.left = TreeNode(next(ids))
+            node.right = TreeNode(next(ids))
+            self._set_leaf(node.left, y, left_rows)
+            self._set_leaf(node.right, y, right_rows)
+            leaves += 1
+            for child, child_rows in ((node.left, left_rows), (node.right, right_rows)):
+                split = self._best_split(x, y, child_rows, rng, next(order), child)
+                if split is not None:
+                    heapq.heappush(heap, split)
+        return self
+
+    def _set_leaf(self, node: TreeNode, y: np.ndarray, rows: np.ndarray) -> None:
+        counts = np.bincount(y[rows], minlength=self.n_classes)
+        node.label = int(np.argmax(counts))
+
+    def _best_split(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        rows: np.ndarray,
+        rng: np.random.Generator,
+        order: int,
+        node: TreeNode,
+    ) -> _Candidate | None:
+        n = len(rows)
+        if n < 2 * self.min_samples_leaf:
+            return None
+        labels = y[rows]
+        parent_counts = np.bincount(labels, minlength=self.n_classes)
+        if (parent_counts > 0).sum() <= 1:
+            return None  # already pure
+        parent_gini = 1.0 - ((parent_counts / n) ** 2).sum()
+
+        n_features = x.shape[1]
+        k = self.features_per_split
+        if k is None or k >= n_features:
+            candidates = np.arange(n_features)
+        else:
+            candidates = rng.choice(n_features, size=k, replace=False)
+
+        best: tuple[float, int, int] | None = None
+        for feature in candidates:
+            values = x[rows, feature].astype(np.int64)
+            # class-count histogram over the 256 quantised bins
+            hist = np.bincount(
+                values * self.n_classes + labels, minlength=256 * self.n_classes
+            ).reshape(256, self.n_classes)
+            left_counts = np.cumsum(hist, axis=0)[:-1]  # thresholds 0..254
+            left_totals = left_counts.sum(axis=1)
+            right_counts = parent_counts[None, :] - left_counts
+            right_totals = n - left_totals
+            valid = (left_totals >= self.min_samples_leaf) & (
+                right_totals >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            gini_left = _gini_from_counts(left_counts, left_totals)
+            gini_right = _gini_from_counts(right_counts, right_totals)
+            weighted = (left_totals * gini_left + right_totals * gini_right) / n
+            weighted[~valid] = np.inf
+            threshold = int(np.argmin(weighted))
+            score = parent_gini - weighted[threshold]
+            if score > 1e-12 and (best is None or score > best[0]):
+                best = (float(score), int(feature), threshold)
+        if best is None:
+            return None
+        score, feature, threshold = best
+        return _Candidate(
+            impurity_decrease=score * n,
+            order=order,
+            node=node,
+            rows=rows,
+            feature=feature,
+            threshold=threshold,
+        )
+
+    # -- inference and introspection ----------------------------------------
+
+    def predict_one(self, sample: np.ndarray) -> int:
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if sample[node.feature] <= node.threshold else node.right
+        return node.label
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (self.predict_one(row) for row in x), dtype=np.int64, count=len(x)
+        )
+
+    def leaf_count(self) -> int:
+        return sum(1 for _ in self.iter_leaves())
+
+    def iter_leaves(self):
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend((node.right, node.left))
+
+    def depth(self) -> int:
+        def rec(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(rec(node.left), rec(node.right))
+
+        return rec(self.root)
+
+    def paths(self) -> list[TreePath]:
+        """All root-to-leaf paths as per-feature interval constraints."""
+        out: list[TreePath] = []
+
+        def rec(node: TreeNode, bounds: dict[int, tuple[int, int]]):
+            if node.is_leaf:
+                out.append(
+                    TreePath(tuple(sorted(bounds.items())), label=node.label)
+                )
+                return
+            lo, hi = bounds.get(node.feature, (0, 255))
+            left_bounds = dict(bounds)
+            left_bounds[node.feature] = (lo, min(hi, node.threshold))
+            rec(node.left, left_bounds)
+            right_bounds = dict(bounds)
+            right_bounds[node.feature] = (max(lo, node.threshold + 1), hi)
+            rec(node.right, right_bounds)
+
+        rec(self.root, {})
+        return out

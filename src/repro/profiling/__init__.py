@@ -1,0 +1,23 @@
+"""Profile-driven benchmark design (Section X: Figure 1, Table V)."""
+
+from repro.profiling.analytic import (
+    expected_reports_per_million,
+    hamming_match_probability,
+    min_length_for_rate,
+)
+from repro.profiling.mesh_profile import (
+    ProfilePoint,
+    figure1_sweep,
+    measure_rate,
+    select_pattern_length,
+)
+
+__all__ = [
+    "ProfilePoint",
+    "expected_reports_per_million",
+    "figure1_sweep",
+    "hamming_match_probability",
+    "measure_rate",
+    "min_length_for_rate",
+    "select_pattern_length",
+]

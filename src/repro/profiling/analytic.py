@@ -1,0 +1,60 @@
+"""Closed-form match-rate model for Hamming filters on random input.
+
+For a random i.i.d. stream over an alphabet of size ``a``, a window matches
+an (independent) random pattern position with probability ``1/a``, so the
+probability that a length-``l`` window is within Hamming distance ``d`` is
+the binomial tail::
+
+    P(l, d) = sum_{k=0..d} C(l, k) (1 - 1/a)^k (1/a)^(l - k)
+
+This gives an exact expectation for Figure 1's Hamming curves and an
+independent check on the simulated profile (the Levenshtein curves have no
+such simple closed form; they are Monte-Carlo only, as in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "hamming_match_probability",
+    "expected_reports_per_million",
+    "min_length_for_rate",
+]
+
+
+def hamming_match_probability(l: int, d: int, *, alphabet_size: int = 4) -> float:
+    """P(random window of length l within Hamming distance d of a random
+    pattern) over a uniform ``alphabet_size``-ary alphabet."""
+    if l <= 0:
+        raise ValueError("length must be positive")
+    if d < 0:
+        raise ValueError("distance must be >= 0")
+    p_match = 1.0 / alphabet_size
+    p_miss = 1.0 - p_match
+    total = 0.0
+    for k in range(min(d, l) + 1):
+        total += math.comb(l, k) * (p_miss**k) * (p_match ** (l - k))
+    return min(total, 1.0)
+
+
+def expected_reports_per_million(l: int, d: int, *, alphabet_size: int = 4) -> float:
+    """Expected reports per filter per million random input symbols."""
+    return hamming_match_probability(l, d, alphabet_size=alphabet_size) * 1_000_000
+
+
+def min_length_for_rate(
+    d: int,
+    *,
+    threshold_per_million: float = 1.0,
+    alphabet_size: int = 4,
+    l_max: int = 200,
+) -> int:
+    """Smallest pattern length whose expected report rate is below the
+    threshold — the analytic counterpart of the paper's profile-driven
+    filter-length selection (Section X-C)."""
+    for l in range(d + 1, l_max + 1):
+        rate = expected_reports_per_million(l, d, alphabet_size=alphabet_size)
+        if rate < threshold_per_million:
+            return l
+    raise ValueError(f"no length up to {l_max} meets the rate threshold")

@@ -1,0 +1,5 @@
+"""PROSITE protein-motif substrate (Protomata benchmark)."""
+
+from repro.prosite.parser import AMINO_ACIDS, parse_pattern_elements, prosite_to_regex
+
+__all__ = ["AMINO_ACIDS", "parse_pattern_elements", "prosite_to_regex"]

@@ -1,0 +1,94 @@
+"""PROSITE motif pattern parser (the Protomata benchmark substrate).
+
+PROSITE patterns describe protein motifs over the 20-letter amino-acid
+alphabet, e.g. ``[AC]-x-V-x(4)-{ED}``: elements separated by ``-`` where
+``x`` is any residue, ``[...]`` a residue set, ``{...}`` a negated set, and
+``(n)``/``(n,m)`` repeat counts.  A leading ``<`` anchors at the sequence
+start.  Patterns conventionally end with a ``.``.
+
+The parser emits regexes over the amino-acid byte alphabet for the standard
+compiler, mirroring how Roy & Aluru convert Prosite motifs to automata.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import PatternError
+
+__all__ = ["AMINO_ACIDS", "prosite_to_regex", "parse_pattern_elements"]
+
+#: The 20 standard amino acids (one-letter codes).
+AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+_ELEMENT_RE = re.compile(
+    r"(?P<body>x|[A-Z]|\[[A-Z]+\]|\{[A-Z]+\})"
+    r"(?:\((?P<lo>\d+)(?:,(?P<hi>\d+))?\))?$"
+)
+
+
+def parse_pattern_elements(pattern: str) -> list[tuple[str, int, int]]:
+    """Split a PROSITE pattern into ``(element_regex, lo, hi)`` triples."""
+    text = pattern.strip()
+    if text.endswith("."):
+        text = text[:-1]
+    if text.endswith(">"):
+        raise PatternError(
+            "C-terminal anchor '>' is not representable in streaming automata"
+        )
+    anchored = text.startswith("<")
+    if anchored:
+        text = text[1:]
+    if not text:
+        raise PatternError("empty PROSITE pattern")
+    out: list[tuple[str, int, int]] = []
+    for raw in text.split("-"):
+        raw = raw.strip()
+        match = _ELEMENT_RE.fullmatch(raw)
+        if match is None:
+            raise PatternError(f"bad PROSITE element: {raw!r}")
+        body = match.group("body")
+        lo = int(match.group("lo")) if match.group("lo") else 1
+        hi = int(match.group("hi")) if match.group("hi") else lo
+        if hi < lo:
+            raise PatternError(f"inverted repeat in element {raw!r}")
+        if body == "x":
+            element = f"[{AMINO_ACIDS}]"
+        elif len(body) == 1:
+            if body not in AMINO_ACIDS:
+                raise PatternError(f"unknown amino acid {body!r}")
+            element = body
+        elif body.startswith("["):
+            residues = body[1:-1]
+            bad = set(residues) - set(AMINO_ACIDS)
+            if bad:
+                raise PatternError(f"unknown residues {bad} in {raw!r}")
+            element = f"[{residues}]"
+        else:  # {...} negated set
+            residues = body[1:-1]
+            bad = set(residues) - set(AMINO_ACIDS)
+            if bad:
+                raise PatternError(f"unknown residues {bad} in {raw!r}")
+            allowed = "".join(a for a in AMINO_ACIDS if a not in residues)
+            if not allowed:
+                raise PatternError(f"element {raw!r} excludes every residue")
+            element = f"[{allowed}]"
+        out.append((element, lo, hi))
+    if anchored:
+        out.insert(0, ("^", 1, 1))
+    return out
+
+
+def prosite_to_regex(pattern: str) -> str:
+    """Convert a PROSITE pattern to a regex for the automata compiler."""
+    parts = []
+    for element, lo, hi in parse_pattern_elements(pattern):
+        if element == "^":
+            parts.append("^")
+        elif lo == hi == 1:
+            parts.append(element)
+        elif lo == hi:
+            parts.append(f"{element}{{{lo}}}")
+        else:
+            parts.append(f"{element}{{{lo},{hi}}}")
+    return "".join(parts)

@@ -1,0 +1,23 @@
+"""PCRE-subset regular expression compiler (pcre2mnrl equivalent)."""
+
+from repro.regex.ast_nodes import Alt, Concat, Empty, Literal, Node, Repeat, normalize
+from repro.regex.compile import compile_parsed, compile_pcre, compile_regex, compile_ruleset
+from repro.regex.parser import Flags, ParsedRegex, parse_pcre, parse_regex
+
+__all__ = [
+    "Alt",
+    "Concat",
+    "Empty",
+    "Flags",
+    "Literal",
+    "Node",
+    "ParsedRegex",
+    "Repeat",
+    "compile_parsed",
+    "compile_pcre",
+    "compile_regex",
+    "compile_ruleset",
+    "normalize",
+    "parse_pcre",
+    "parse_regex",
+]

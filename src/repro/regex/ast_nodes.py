@@ -1,0 +1,133 @@
+"""Regex abstract syntax tree.
+
+The parser produces a small node algebra; counted repetitions are expanded
+by :func:`normalize` into the four-operator core (literal, concat, alt,
+star) that the Glushkov construction consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.charset import CharSet
+from repro.errors import RegexError
+
+__all__ = [
+    "Node",
+    "Literal",
+    "Concat",
+    "Alt",
+    "Repeat",
+    "Empty",
+    "normalize",
+    "REPEAT_EXPANSION_LIMIT",
+]
+
+#: Safety cap on how many positions a single counted repetition may expand
+#: to; mirrors real compilers rejecting pathological ``{1,100000}`` terms.
+REPEAT_EXPANSION_LIMIT = 4096
+
+
+class Node:
+    """Base class for AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A single-symbol position matching a character set."""
+
+    charset: CharSet
+
+    def __post_init__(self) -> None:
+        if self.charset.is_empty():
+            raise RegexError("literal with empty character set can never match")
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    """Sequential composition of parts."""
+
+    parts: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Alt(Node):
+    """Alternation between options."""
+
+    options: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """``child{min,max}``; ``max=None`` means unbounded."""
+
+    child: Node
+    min: int
+    max: int | None
+
+    def __post_init__(self) -> None:
+        if self.min < 0:
+            raise RegexError("repetition lower bound must be >= 0")
+        if self.max is not None and self.max < self.min:
+            raise RegexError(f"repetition bounds inverted: {{{self.min},{self.max}}}")
+
+
+@dataclass(frozen=True)
+class Empty(Node):
+    """The empty string."""
+
+
+def count_positions(node: Node) -> int:
+    """Number of Glushkov positions the node expands to."""
+    if isinstance(node, Literal):
+        return 1
+    if isinstance(node, Empty):
+        return 0
+    if isinstance(node, Concat):
+        return sum(count_positions(p) for p in node.parts)
+    if isinstance(node, Alt):
+        return sum(count_positions(p) for p in node.options)
+    if isinstance(node, Repeat):
+        inner = count_positions(node.child)
+        copies = node.min if node.max is None else node.max
+        return inner * max(copies, 1)
+    raise RegexError(f"unknown AST node: {node!r}")
+
+
+def normalize(node: Node) -> Node:
+    """Rewrite counted repetitions into the star-only core algebra.
+
+    ``e{m,n}`` becomes ``e``·…·``e`` (m copies) followed by ``(e|ε)`` n-m
+    times; ``e{m,}`` becomes m copies with a trailing star.  The expansion
+    is bounded by :data:`REPEAT_EXPANSION_LIMIT` positions.
+    """
+    if isinstance(node, (Literal, Empty)):
+        return node
+    if isinstance(node, Concat):
+        return Concat(tuple(normalize(p) for p in node.parts))
+    if isinstance(node, Alt):
+        return Alt(tuple(normalize(p) for p in node.options))
+    if isinstance(node, Repeat):
+        child = normalize(node.child)
+        if node.min == 0 and node.max is None:
+            return Repeat(child, 0, None)  # canonical star
+        if count_positions(node) > REPEAT_EXPANSION_LIMIT:
+            raise RegexError(
+                f"counted repetition expands to more than "
+                f"{REPEAT_EXPANSION_LIMIT} positions"
+            )
+        parts: list[Node] = [child for _ in range(node.min)]
+        if node.max is None:
+            # e{m,}  ==  e^m e*
+            parts.append(Repeat(child, 0, None))
+        else:
+            # e{m,n}  ==  e^m (e|ε)^(n-m)
+            parts.extend(Alt((child, Empty())) for _ in range(node.max - node.min))
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+    raise RegexError(f"unknown AST node: {node!r}")

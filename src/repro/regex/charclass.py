@@ -1,0 +1,166 @@
+"""Character-class and escape parsing for the PCRE-subset compiler."""
+
+from __future__ import annotations
+
+from repro.core.charset import CharSet
+from repro.errors import RegexError, RegexUnsupportedError
+
+__all__ = [
+    "CLASS_DIGIT",
+    "CLASS_SPACE",
+    "CLASS_WORD",
+    "DOT_NO_NEWLINE",
+    "casefold_charset",
+    "parse_class",
+    "parse_escape",
+]
+
+CLASS_DIGIT = CharSet.from_ranges([(0x30, 0x39)])
+CLASS_SPACE = CharSet.from_chars(" \t\n\r\f\v")
+CLASS_WORD = CharSet.from_ranges([(0x30, 0x39), (0x41, 0x5A), (0x61, 0x7A)]) | CharSet.from_chars("_")
+#: ``.`` without the DOTALL flag: everything but newline.
+DOT_NO_NEWLINE = ~CharSet.from_chars("\n")
+
+_SIMPLE_ESCAPES = {
+    "n": CharSet.from_chars("\n"),
+    "r": CharSet.from_chars("\r"),
+    "t": CharSet.from_chars("\t"),
+    "f": CharSet.from_chars("\f"),
+    "v": CharSet.from_chars("\v"),
+    "a": CharSet.single(0x07),
+    "e": CharSet.single(0x1B),
+    "0": CharSet.single(0x00),
+}
+
+_CLASS_ESCAPES = {
+    "d": CLASS_DIGIT,
+    "D": ~CLASS_DIGIT,
+    "s": CLASS_SPACE,
+    "S": ~CLASS_SPACE,
+    "w": CLASS_WORD,
+    "W": ~CLASS_WORD,
+}
+
+_POSIX_CLASSES = {
+    "alpha": CharSet.from_ranges([(0x41, 0x5A), (0x61, 0x7A)]),
+    "digit": CLASS_DIGIT,
+    "alnum": CharSet.from_ranges([(0x30, 0x39), (0x41, 0x5A), (0x61, 0x7A)]),
+    "upper": CharSet.from_ranges([(0x41, 0x5A)]),
+    "lower": CharSet.from_ranges([(0x61, 0x7A)]),
+    "space": CLASS_SPACE,
+    "xdigit": CharSet.from_ranges([(0x30, 0x39), (0x41, 0x46), (0x61, 0x66)]),
+    "punct": CharSet.from_ranges([(0x21, 0x2F), (0x3A, 0x40), (0x5B, 0x60), (0x7B, 0x7E)]),
+    "print": CharSet.from_ranges([(0x20, 0x7E)]),
+    "graph": CharSet.from_ranges([(0x21, 0x7E)]),
+    "cntrl": CharSet.from_ranges([(0x00, 0x1F)]) | CharSet.single(0x7F),
+    "blank": CharSet.from_chars(" \t"),
+}
+
+
+def casefold_charset(charset: CharSet) -> CharSet:
+    """Close a character set under ASCII case folding (the ``i`` flag)."""
+    extra = CharSet.none()
+    for sym in charset:
+        if 0x41 <= sym <= 0x5A:
+            extra |= CharSet.single(sym + 0x20)
+        elif 0x61 <= sym <= 0x7A:
+            extra |= CharSet.single(sym - 0x20)
+    return charset | extra
+
+
+def parse_escape(pattern: str, pos: int) -> tuple[CharSet, int, bool]:
+    """Parse the escape starting at ``pattern[pos]`` (the char after ``\\``).
+
+    Returns ``(charset, next_pos, is_class)``; ``is_class`` distinguishes
+    multi-symbol class escapes (``\\d``) from single-character escapes,
+    which matters for range parsing inside ``[...]``.
+    """
+    if pos >= len(pattern):
+        raise RegexError("pattern ends with a bare backslash")
+    ch = pattern[pos]
+    if ch in _CLASS_ESCAPES:
+        return _CLASS_ESCAPES[ch], pos + 1, True
+    if ch in _SIMPLE_ESCAPES:
+        return _SIMPLE_ESCAPES[ch], pos + 1, False
+    if ch == "x":
+        hex_digits = pattern[pos + 1 : pos + 3]
+        if len(hex_digits) != 2 or any(c not in "0123456789abcdefABCDEF" for c in hex_digits):
+            raise RegexError(f"bad \\x escape at position {pos}")
+        return CharSet.single(int(hex_digits, 16)), pos + 3, False
+    if ch.isdigit():
+        raise RegexUnsupportedError(
+            f"back-reference \\{ch} is outside the supported PCRE subset"
+        )
+    if ch in "bBAZzG":
+        raise RegexUnsupportedError(f"zero-width assertion \\{ch} is not supported")
+    if ch.isalpha():
+        raise RegexUnsupportedError(f"unknown escape \\{ch}")
+    # Escaped metacharacter or punctuation: literal.
+    return CharSet.from_chars(ch), pos + 1, False
+
+
+def parse_class(pattern: str, pos: int) -> tuple[CharSet, int]:
+    """Parse a ``[...]`` class; ``pos`` points just after the ``[``.
+
+    Returns ``(charset, next_pos)`` with ``next_pos`` after the closing
+    ``]``.  Supports negation, ranges, escapes and POSIX ``[:name:]``.
+    """
+    negate = False
+    if pos < len(pattern) and pattern[pos] == "^":
+        negate = True
+        pos += 1
+    result = CharSet.none()
+    first = True
+    while True:
+        if pos >= len(pattern):
+            raise RegexError("unterminated character class")
+        ch = pattern[pos]
+        if ch == "]" and not first:
+            pos += 1
+            break
+        first = False
+        if pattern.startswith("[:", pos):
+            end = pattern.find(":]", pos + 2)
+            if end < 0:
+                raise RegexError("unterminated POSIX class")
+            name = pattern[pos + 2 : end]
+            posix = _POSIX_CLASSES.get(name)
+            if posix is None:
+                raise RegexError(f"unknown POSIX class [:{name}:]")
+            result |= posix
+            pos = end + 2
+            continue
+        if ch == "\\":
+            charset, pos, is_class = parse_escape(pattern, pos + 1)
+            if is_class:
+                result |= charset
+                continue
+            lo = next(iter(charset))
+        else:
+            lo = ord(ch)
+            if lo > 255:
+                raise RegexUnsupportedError("non-byte character in class")
+            pos += 1
+        # Possible range lo-hi.
+        if pos + 1 < len(pattern) and pattern[pos] == "-" and pattern[pos + 1] != "]":
+            pos += 1
+            if pattern[pos] == "\\":
+                hi_set, pos, is_class = parse_escape(pattern, pos + 1)
+                if is_class:
+                    raise RegexError("class escape cannot end a range")
+                hi = next(iter(hi_set))
+            else:
+                hi = ord(pattern[pos])
+                if hi > 255:
+                    raise RegexUnsupportedError("non-byte character in class")
+                pos += 1
+            if hi < lo:
+                raise RegexError(f"inverted class range {chr(lo)}-{chr(hi)}")
+            result |= CharSet.from_ranges([(lo, hi)])
+        else:
+            result |= CharSet.single(lo)
+    if negate:
+        result = ~result
+    if result.is_empty():
+        raise RegexError("character class matches nothing")
+    return result, pos

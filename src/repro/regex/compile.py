@@ -1,0 +1,190 @@
+"""Glushkov compilation: regex AST → homogeneous automaton.
+
+The Glushkov (position) construction is the natural compiler for ANML-style
+automata: every *position* (literal occurrence) becomes exactly one STE
+carrying that position's character set, and the follow relation becomes the
+activation edges.  This mirrors what pcre2mnrl emits for the AutomataZoo
+benchmarks: one homogeneous NFA per rule, reporting on the rule's id.
+
+Unanchored patterns (no leading ``^``) compile to search semantics: the
+first-set STEs are ``ALL_INPUT`` starts, so the automaton reports the end
+offset of every match at every stream position — exactly the behaviour the
+paper's active-set and report-rate measurements assume.
+
+Patterns that can match the empty string compile fine; the (meaningless in
+a streaming context) empty match itself is not reported.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import StartMode
+from repro.errors import RegexError
+from repro.regex.ast_nodes import Alt, Concat, Empty, Literal, Node, Repeat, normalize
+from repro.regex.parser import Flags, ParsedRegex, parse_pcre, parse_regex
+
+__all__ = ["compile_regex", "compile_parsed", "compile_ruleset", "compile_pcre"]
+
+
+class _Glushkov:
+    """Single-pass computation of nullable/first/last/follow."""
+
+    def __init__(self) -> None:
+        self.charsets: list[CharSet] = []
+        self.follow: set[tuple[int, int]] = set()
+
+    def visit(self, node: Node) -> tuple[bool, frozenset[int], frozenset[int]]:
+        """Return (nullable, first, last) for ``node``, minting positions."""
+        if isinstance(node, Empty):
+            return True, frozenset(), frozenset()
+        if isinstance(node, Literal):
+            index = len(self.charsets)
+            self.charsets.append(node.charset)
+            only = frozenset([index])
+            return False, only, only
+        if isinstance(node, Alt):
+            nullable = False
+            first: frozenset[int] = frozenset()
+            last: frozenset[int] = frozenset()
+            for option in node.options:
+                n, f, l = self.visit(option)
+                nullable |= n
+                first |= f
+                last |= l
+            return nullable, first, last
+        if isinstance(node, Concat):
+            nullable = True
+            first: frozenset[int] = frozenset()
+            last: frozenset[int] = frozenset()
+            for part in node.parts:
+                n, f, l = self.visit(part)
+                self.follow.update(itertools.product(last, f))
+                if nullable:
+                    first |= f
+                if n:
+                    last |= l
+                else:
+                    last = l
+                nullable &= n
+            return nullable, first, last
+        if isinstance(node, Repeat):
+            if not (node.min == 0 and node.max is None):
+                raise RegexError("non-star Repeat survived normalization")
+            _, f, l = self.visit(node.child)
+            self.follow.update(itertools.product(l, f))
+            return True, f, l
+        raise RegexError(f"unknown AST node: {node!r}")
+
+
+def compile_parsed(
+    parsed: ParsedRegex,
+    *,
+    name: str = "regex",
+    report_code: object = None,
+    anchored: bool | None = None,
+) -> Automaton:
+    """Compile a parsed regex into a homogeneous automaton.
+
+    ``anchored`` overrides the pattern's own ``^``: benchmarks sometimes
+    force anchoring (e.g. per-record streams) regardless of rule syntax.
+    """
+    if anchored is None:
+        anchored = parsed.anchored
+    glushkov = _Glushkov()
+    _, first, last = glushkov.visit(normalize(parsed.ast))
+    if not glushkov.charsets:
+        raise RegexError("pattern has no positions (matches only the empty string)")
+
+    automaton = Automaton(name)
+    start_mode = StartMode.START_OF_DATA if anchored else StartMode.ALL_INPUT
+    for index, charset in enumerate(glushkov.charsets):
+        automaton.add_ste(
+            f"p{index}",
+            charset,
+            start=start_mode if index in first else StartMode.NONE,
+            report=index in last,
+            report_code=report_code,
+        )
+    for src, dst in sorted(glushkov.follow):
+        automaton.add_edge(f"p{src}", f"p{dst}")
+    return automaton
+
+
+def compile_regex(
+    pattern: str,
+    flags: Flags | str = "",
+    *,
+    name: str | None = None,
+    report_code: object = None,
+    anchored: bool | None = None,
+) -> Automaton:
+    """Parse and compile a regex string.
+
+    >>> a = compile_regex("ab+c", report_code="r1")
+    >>> a.n_states
+    3
+    """
+    parsed = parse_regex(pattern, flags if flags else Flags())
+    if report_code is None:
+        report_code = pattern
+    return compile_parsed(
+        parsed,
+        name=name if name is not None else f"regex:{pattern}",
+        report_code=report_code,
+        anchored=anchored,
+    )
+
+
+def compile_pcre(
+    delimited: str,
+    *,
+    name: str | None = None,
+    report_code: object = None,
+    anchored: bool | None = None,
+) -> Automaton:
+    """Compile a ``/pattern/flags`` form (Snort/ClamAV rule bodies)."""
+    parsed = parse_pcre(delimited)
+    if report_code is None:
+        report_code = delimited
+    return compile_parsed(
+        parsed,
+        name=name if name is not None else f"pcre:{delimited}",
+        report_code=report_code,
+        anchored=anchored,
+    )
+
+
+def compile_ruleset(
+    patterns,
+    *,
+    name: str = "ruleset",
+    skip_unsupported: bool = False,
+) -> tuple[Automaton, list[tuple[object, str]]]:
+    """Compile many ``(report_code, pattern)`` pairs into one automaton.
+
+    This is the suite-builder entry point: AutomataZoo benchmarks are unions
+    of per-rule automata.  With ``skip_unsupported`` (the paper's policy:
+    "only considers patterns that are able to be compiled"), uncompilable
+    patterns are collected and returned instead of raised.
+
+    Returns ``(automaton, rejected)`` where ``rejected`` is a list of
+    ``(report_code, reason)`` pairs.
+    """
+    union = Automaton(name)
+    rejected: list[tuple[object, str]] = []
+    for index, (code, pattern) in enumerate(patterns):
+        try:
+            if pattern.startswith("/"):
+                sub = compile_pcre(pattern, report_code=code)
+            else:
+                sub = compile_regex(pattern, report_code=code)
+        except RegexError as exc:
+            if not skip_unsupported:
+                raise
+            rejected.append((code, str(exc)))
+            continue
+        union.merge(sub, prefix=f"r{index}.")
+    return union, rejected

@@ -1,0 +1,270 @@
+"""Recursive-descent parser for the supported PCRE subset.
+
+Supported: literals, escapes, ``.``, ``[...]`` classes (ranges, negation,
+POSIX names), groups ``(...)``/``(?:...)``, alternation, quantifiers
+``* + ? {n} {n,} {n,m}`` (lazy/possessive markers accepted and ignored —
+they do not change the matched language), a leading ``^`` anchor and leading
+inline flags ``(?i)``/``(?s)``.
+
+Rejected with :class:`RegexUnsupportedError` (mirroring pcre2mnrl, which
+only admits what Hyperscan can compile): back-references, look-around,
+mid-pattern ``^``, ``$``, and word-boundary assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.charset import ALL_BYTES, CharSet
+from repro.errors import RegexError, RegexUnsupportedError
+from repro.regex.ast_nodes import Alt, Concat, Empty, Literal, Node, Repeat
+from repro.regex.charclass import (
+    DOT_NO_NEWLINE,
+    casefold_charset,
+    parse_class,
+    parse_escape,
+)
+
+__all__ = ["Flags", "ParsedRegex", "parse_regex", "parse_pcre"]
+
+_METACHARS = set("|)*+?")
+
+
+@dataclass(frozen=True)
+class Flags:
+    """Regex compile flags (subset of PCRE's)."""
+
+    caseless: bool = False  # i
+    dotall: bool = False  # s
+    multiline: bool = False  # m (accepted; only affects ^/$ which we reject)
+
+    @classmethod
+    def from_string(cls, letters: str) -> "Flags":
+        known = set("ism")
+        bad = set(letters) - known - set("x")  # x accepted and ignored
+        if bad:
+            raise RegexUnsupportedError(f"unsupported regex flags: {''.join(sorted(bad))}")
+        return cls(
+            caseless="i" in letters,
+            dotall="s" in letters,
+            multiline="m" in letters,
+        )
+
+
+@dataclass(frozen=True)
+class ParsedRegex:
+    """Parse result: the AST plus whether the pattern is start-anchored."""
+
+    ast: Node
+    anchored: bool
+    flags: Flags
+
+
+class _Parser:
+    def __init__(self, pattern: str, flags: Flags) -> None:
+        self.pattern = pattern
+        self.pos = 0
+        self.flags = flags
+
+    # -- helpers -----------------------------------------------------------
+
+    def _peek(self) -> str | None:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+    def _literal(self, charset: CharSet) -> Literal:
+        if self.flags.caseless:
+            charset = casefold_charset(charset)
+        return Literal(charset)
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> ParsedRegex:
+        self._consume_leading_flags()
+        anchored = False
+        if self._peek() == "^":
+            anchored = True
+            self.pos += 1
+        ast = self._alternation()
+        if self.pos < len(self.pattern):
+            raise RegexError(
+                f"unexpected {self.pattern[self.pos]!r} at position {self.pos}"
+            )
+        return ParsedRegex(ast=ast, anchored=anchored, flags=self.flags)
+
+    def _consume_leading_flags(self) -> None:
+        while self.pattern.startswith("(?", self.pos):
+            end = self.pattern.find(")", self.pos)
+            body = self.pattern[self.pos + 2 : end] if end > 0 else ""
+            if end < 0 or not body or any(c not in "ismx" for c in body):
+                return  # not an inline-flags group; leave for _atom
+            self.flags = Flags(
+                caseless=self.flags.caseless or "i" in body,
+                dotall=self.flags.dotall or "s" in body,
+                multiline=self.flags.multiline or "m" in body,
+            )
+            self.pos = end + 1
+
+    def _alternation(self) -> Node:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self.pos += 1
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return Alt(tuple(options))
+
+    def _concat(self) -> Node:
+        parts: list[Node] = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self._repeat())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _repeat(self) -> Node:
+        atom = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                atom = Repeat(atom, 0, None)
+                self.pos += 1
+            elif ch == "+":
+                atom = Repeat(atom, 1, None)
+                self.pos += 1
+            elif ch == "?":
+                atom = Repeat(atom, 0, 1)
+                self.pos += 1
+            elif ch == "{":
+                bounds = self._counted_bounds()
+                if bounds is None:
+                    break  # literal '{'
+                atom = Repeat(atom, bounds[0], bounds[1])
+            else:
+                break
+            # Lazy (?) / possessive (+) markers: same language, skip.
+            if self._peek() in ("?", "+") and isinstance(atom, Repeat):
+                nxt = self._peek()
+                # only swallow '?' (lazy); a '+' here is possessive only
+                # right after a quantifier, which we also swallow.
+                self.pos += 1 if nxt == "?" else 0
+                if nxt == "+":
+                    self.pos += 1
+        return atom
+
+    def _counted_bounds(self) -> tuple[int, int | None] | None:
+        end = self.pattern.find("}", self.pos)
+        if end < 0:
+            return None
+        body = self.pattern[self.pos + 1 : end]
+        if not body or any(c not in "0123456789," for c in body) or body.count(",") > 1:
+            return None  # PCRE treats a malformed {..} as a literal brace
+        self.pos = end + 1
+        if "," not in body:
+            n = int(body)
+            return (n, n)
+        lo_s, hi_s = body.split(",")
+        lo = int(lo_s) if lo_s else 0
+        hi = int(hi_s) if hi_s else None
+        if hi is not None and hi < lo:
+            raise RegexError(f"inverted repetition bounds {{{body}}}")
+        return (lo, hi)
+
+    def _atom(self) -> Node:
+        ch = self._peek()
+        if ch is None:
+            raise RegexError("expected an atom, found end of pattern")
+        if ch == "(":
+            return self._group()
+        if ch == "[":
+            self.pos += 1
+            charset, self.pos = parse_class(self.pattern, self.pos)
+            return self._literal(charset)
+        if ch == ".":
+            self.pos += 1
+            return Literal(ALL_BYTES if self.flags.dotall else DOT_NO_NEWLINE)
+        if ch == "\\":
+            charset, self.pos, _ = parse_escape(self.pattern, self.pos + 1)
+            return self._literal(charset)
+        if ch == "^":
+            raise RegexUnsupportedError("mid-pattern ^ anchor is not supported")
+        if ch == "$":
+            raise RegexUnsupportedError("$ anchor is not supported (streaming automata)")
+        if ch in _METACHARS:
+            raise RegexError(f"unexpected metacharacter {ch!r} at position {self.pos}")
+        self.pos += 1
+        if ord(ch) > 255:
+            raise RegexUnsupportedError("non-byte literal; patterns are byte-oriented")
+        return self._literal(CharSet.from_chars(ch))
+
+    def _group(self) -> Node:
+        assert self._peek() == "("
+        self.pos += 1
+        if self._peek() == "?":
+            self.pos += 1
+            nxt = self._peek()
+            if nxt == ":":
+                self.pos += 1
+            elif nxt in ("=", "!", "<"):
+                raise RegexUnsupportedError("look-around groups are not supported")
+            elif nxt == "P" or nxt == "'":
+                raise RegexUnsupportedError("named groups are not supported")
+            else:
+                raise RegexUnsupportedError(f"unsupported group modifier (?{nxt}")
+        body = self._alternation()
+        if self._peek() != ")":
+            raise RegexError("unterminated group")
+        self.pos += 1
+        return body
+
+
+def _expand_quoting(pattern: str) -> str:
+    """Rewrite ``\\Q...\\E`` spans as individually-escaped literals.
+
+    PCRE's quoting operator; expanding it up front keeps the grammar
+    simple while preserving the semantics (a quantifier after ``\\E``
+    applies to the last quoted character, which escaping preserves).
+    """
+    out = []
+    i = 0
+    while i < len(pattern):
+        if pattern.startswith("\\Q", i):
+            end = pattern.find("\\E", i + 2)
+            body = pattern[i + 2 :] if end < 0 else pattern[i + 2 : end]
+            for ch in body:
+                if ch.isalnum() or ord(ch) > 255:
+                    out.append(ch)  # non-byte chars rejected downstream
+                else:
+                    out.append(f"\\x{ord(ch):02x}")
+            i = len(pattern) if end < 0 else end + 2
+        else:
+            if pattern[i] == "\\" and i + 1 < len(pattern):
+                out.append(pattern[i : i + 2])
+                i += 2
+            else:
+                out.append(pattern[i])
+                i += 1
+    return "".join(out)
+
+
+def parse_regex(pattern: str, flags: Flags | str = Flags()) -> ParsedRegex:
+    """Parse ``pattern`` under ``flags`` (a :class:`Flags` or letter string)."""
+    if isinstance(flags, str):
+        flags = Flags.from_string(flags)
+    if "\\Q" in pattern:
+        pattern = _expand_quoting(pattern)
+    return _Parser(pattern, flags).parse()
+
+
+def parse_pcre(delimited: str) -> ParsedRegex:
+    """Parse a Snort/ClamAV-style delimited pattern like ``/abc/i``."""
+    if len(delimited) < 2 or delimited[0] != "/":
+        raise RegexError(f"not a /pattern/flags form: {delimited!r}")
+    end = delimited.rfind("/")
+    if end == 0:
+        raise RegexError(f"unterminated /pattern/: {delimited!r}")
+    return parse_regex(delimited[1:end], Flags.from_string(delimited[end + 1 :]))

@@ -1,0 +1,21 @@
+"""Snort-lite NIDS rule substrate (Section V)."""
+
+from repro.snort.rules import (
+    SNORT_PCRE_MODIFIERS,
+    SnortRule,
+    decode_content,
+    parse_rule,
+    parse_ruleset,
+)
+from repro.snort.ruleset_gen import generate_ruleset, render_rule, render_ruleset
+
+__all__ = [
+    "SNORT_PCRE_MODIFIERS",
+    "SnortRule",
+    "decode_content",
+    "generate_ruleset",
+    "parse_rule",
+    "parse_ruleset",
+    "render_rule",
+    "render_ruleset",
+]

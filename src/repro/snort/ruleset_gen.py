@@ -1,0 +1,183 @@
+"""Synthetic Snort-lite ruleset generator.
+
+Engineered to reproduce the *mechanism* behind Section V's numbers: the
+rules that fire extremely frequently are exactly the ones carrying
+Snort-specific pcre modifiers (they were written to be applied to a
+selected buffer, not the whole stream) or ``isdataat`` options (the paper's
+outlier rule producing over half of all reports).  Specific,
+whole-stream-safe rules are long literals and structured patterns that fire
+rarely.
+
+A small fraction of rules use back-references, which the regex compiler
+rejects — mirroring pcre2mnrl's unsupported-pattern filtering.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.snort.rules import SnortRule
+
+__all__ = ["generate_ruleset", "render_rule", "render_ruleset"]
+
+# Patterns written for a selected buffer (URI, header): short and generic,
+# they fire constantly when misapplied to the whole stream.
+_MODIFIER_PATTERNS = [
+    (r"[a-z]{2}", "iU"),
+    (r"\/", "U"),
+    (r"=[0-9]+", "U"),
+    (r"%[0-9a-f]{2}", "iU"),
+    (r"[A-Z][a-z]+", "H"),
+    (r"\d\d", "R"),
+    (r"[a-z]+\/[a-z]+", "iP"),
+    (r"\x3a\x20", "H"),
+    (r"(?:GET|POST)", "U"),
+    (r"1\.1", "R"),
+]
+
+# The Section V outlier and friends: isdataat rules with very frequent
+# patterns (they check for downstream data relative to a generic match).
+_ISDATAAT_PATTERNS = [
+    r"[a-zA-Z0-9]",  # the outlier: fires on most payload bytes
+    r"[\x20-\x7e]{4}",
+    r"\r\n",
+]
+
+# Whole-stream-safe protocol-context rules: they legitimately fire about
+# once per packet, so the filtered benchmark retains a realistic report
+# rate (the paper's final stage still reports, just ~10x less than the
+# unfiltered set).
+_PROTOCOL_PATTERNS = [
+    r"GET\x20\/",
+    r"POST\x20\/",
+    r"HTTP\/1\.1",
+    r"Host\x3a\x20",
+    r"User\-Agent\x3a",
+    r"Content\-Length\x3a",
+    r"\r\n\r\n",
+    r"\.com",
+    r"=[0-9]{4}",
+    r"[a-z]+\/[a-z]+\?",
+]
+
+# Whole-stream-safe signatures: specific tokens and structured patterns.
+_SPECIFIC_LITERALS = [
+    r"cmd\.exe",
+    r"\/etc\/passwd",
+    r"SELECT \* FROM",
+    r"%c0%af",
+    r"powershell \-enc",
+    r"<script>alert",
+    r"\.\.\/\.\.\/\.\.\/",
+    r"EICAR\-STANDARD\-ANTIVIRUS",
+    r"union select",
+    r"xp_cmdshell",
+]
+# content literals paired with _SPECIFIC_LITERALS (same index)
+_CONTENT_OF = [
+    "cmd.exe",
+    "/etc/passwd",
+    "SELECT ",
+    "%c0%af",
+    "powershell",
+    "<script>",
+    "../../",
+    "EICAR",
+    "union select",
+    "xp_cmdshell",
+]
+
+_SPECIFIC_TEMPLATES = [
+    r"User\-Agent\x3a [a-z]{8,12}bot",
+    r"Host\x3a evil[0-9]{3}\.com",
+    r"\/admin\/[a-z]{6}\.php\?id=[0-9]{4}",
+    r"[a-f0-9]{32}\.exe",
+    r"session=[A-Z0-9]{16}",
+]
+
+
+def _random_token(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(length))
+
+
+def generate_ruleset(
+    n_rules: int = 300,
+    *,
+    modifier_fraction: float = 0.35,
+    isdataat_count: int = 3,
+    unsupported_fraction: float = 0.03,
+    seed: int = 0,
+) -> list[SnortRule]:
+    """Generate a synthetic ruleset with the Section V composition."""
+    rng = random.Random(seed)
+    rules: list[SnortRule] = []
+    sid = 1000
+
+    def add(pcre: str, flags: str, options: tuple[str, ...] = (), msg: str = "synthetic"):
+        nonlocal sid
+        rules.append(
+            SnortRule(
+                sid=sid,
+                action="alert",
+                proto="tcp",
+                msg=msg,
+                pcre=pcre,
+                pcre_flags=flags,
+                options=options,
+            )
+        )
+        sid += 1
+
+    for index in range(isdataat_count):
+        pattern = _ISDATAAT_PATTERNS[index % len(_ISDATAAT_PATTERNS)]
+        add(pattern, "", (f"isdataat:{rng.randint(10, 100)},relative",), "isdataat rule")
+
+    n_modifier = int(n_rules * modifier_fraction)
+    for _ in range(n_modifier):
+        pattern, flags = rng.choice(_MODIFIER_PATTERNS)
+        add(pattern, flags, (), "buffer-selective rule")
+
+    n_unsupported = int(n_rules * unsupported_fraction)
+    for _ in range(n_unsupported):
+        # back-references: rejected by the compiler, as by pcre2mnrl
+        token = _random_token(rng, 4)
+        add(rf"({token})x\1", "", (), "backreference rule")
+
+    while len(rules) < n_rules:
+        roll = rng.random()
+        if roll < 0.4:
+            pattern = rng.choice(_PROTOCOL_PATTERNS)
+            add(pattern, "", (), "protocol context rule")
+            continue
+        if roll < 0.65:
+            index = rng.randrange(len(_SPECIFIC_LITERALS))
+            pattern = _SPECIFIC_LITERALS[index]
+            options: tuple[str, ...] = ()
+            if rng.random() < 0.5:
+                # pair the pcre with a content literal (full-kernel rules)
+                options = (f'content:"{_CONTENT_OF[index]}"',)
+            add(pattern, "i" if rng.random() < 0.3 else "", options,
+                "specific signature")
+            continue
+        if roll < 0.85:
+            pattern = rng.choice(_SPECIFIC_TEMPLATES)
+        else:
+            pattern = _random_token(rng, rng.randint(8, 14))
+        add(pattern, "i" if rng.random() < 0.3 else "", (), "specific signature")
+
+    rng.shuffle(rules)
+    return rules
+
+
+def render_rule(rule: SnortRule) -> str:
+    """Render a rule back to Snort-lite text (parser round-trip)."""
+    options = [f'msg:"{rule.msg}"', f'pcre:"/{rule.pcre}/{rule.pcre_flags}"']
+    options.extend(rule.options)
+    options.append(f"sid:{rule.sid}")
+    body = "; ".join(options)
+    return f"{rule.action} {rule.proto} any any -> any any ({body};)"
+
+
+def render_ruleset(rules: list[SnortRule]) -> str:
+    header = "# synthetic Snort-lite ruleset (AutomataZoo reproduction)\n"
+    return header + "\n".join(render_rule(rule) for rule in rules) + "\n"

@@ -1,0 +1,18 @@
+"""Benchmark statistics: static structure, dynamic behaviour, table output."""
+
+from repro.stats.dynamic import DynamicStats, measure_dynamic
+from repro.stats.reporting import ReportPressure, analyze_report_pressure
+from repro.stats.static import StaticStats, compute_static_stats
+from repro.stats.table import BenchmarkRow, format_table, summarize_benchmark
+
+__all__ = [
+    "BenchmarkRow",
+    "ReportPressure",
+    "analyze_report_pressure",
+    "DynamicStats",
+    "StaticStats",
+    "compute_static_stats",
+    "format_table",
+    "measure_dynamic",
+    "summarize_benchmark",
+]

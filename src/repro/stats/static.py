@@ -1,0 +1,51 @@
+"""Static automaton statistics (the structural columns of Table I)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+
+__all__ = ["StaticStats", "compute_static_stats"]
+
+
+@dataclass(frozen=True)
+class StaticStats:
+    """Structural summary of a benchmark automaton.
+
+    Matches Table I's columns: states, edges, edges per node, subgraph
+    (weakly-connected-component) count, and the mean/stddev of component
+    sizes.
+    """
+
+    states: int
+    edges: int
+    subgraph_count: int
+    avg_component_size: float
+    std_component_size: float
+    start_states: int
+    reporting_states: int
+
+    @property
+    def edges_per_node(self) -> float:
+        if self.states == 0:
+            return 0.0
+        return self.edges / self.states
+
+
+def compute_static_stats(automaton: Automaton) -> StaticStats:
+    """Compute Table-I-style structural statistics for ``automaton``."""
+    sizes = [len(c) for c in automaton.connected_components()]
+    count = len(sizes)
+    mean = sum(sizes) / count if count else 0.0
+    variance = sum((s - mean) ** 2 for s in sizes) / count if count else 0.0
+    return StaticStats(
+        states=automaton.n_states,
+        edges=automaton.n_edges,
+        subgraph_count=count,
+        avg_component_size=mean,
+        std_component_size=math.sqrt(variance),
+        start_states=len(automaton.start_elements()),
+        reporting_states=len(automaton.reporting_elements()),
+    )

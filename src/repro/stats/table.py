@@ -1,0 +1,103 @@
+"""Rendering Table-I-style benchmark summary rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+from repro.stats.dynamic import DynamicStats, measure_dynamic
+from repro.stats.static import StaticStats, compute_static_stats
+from repro.transforms.prefix_merge import merge_common_prefixes
+
+__all__ = ["BenchmarkRow", "summarize_benchmark", "format_table"]
+
+
+@dataclass(frozen=True)
+class BenchmarkRow:
+    """One row of the suite summary (Table I)."""
+
+    name: str
+    domain: str
+    input_desc: str
+    static: StaticStats
+    compressed_states: int | None
+    dynamic: DynamicStats | None
+
+    @property
+    def compression_factor(self) -> float | None:
+        """Fraction of states removed by prefix merging (Table I)."""
+        if self.compressed_states is None or self.static.states == 0:
+            return None
+        return 1.0 - self.compressed_states / self.static.states
+
+
+def summarize_benchmark(
+    name: str,
+    domain: str,
+    input_desc: str,
+    automaton: Automaton,
+    data: bytes | None,
+    *,
+    compress: bool = True,
+) -> BenchmarkRow:
+    """Compute a full Table-I row for one benchmark.
+
+    ``compress=False`` skips prefix merging (the paper marks AP PRNG's
+    compressed column "NA" because compressing it changes its statistical
+    behaviour).
+    """
+    compressed = None
+    if compress:
+        _, merge_stats = merge_common_prefixes(automaton)
+        compressed = merge_stats.states_after
+    dynamic = measure_dynamic(automaton, data) if data is not None else None
+    return BenchmarkRow(
+        name=name,
+        domain=domain,
+        input_desc=input_desc,
+        static=compute_static_stats(automaton),
+        compressed_states=compressed,
+        dynamic=dynamic,
+    )
+
+
+_HEADERS = [
+    "Benchmark",
+    "States",
+    "Edges",
+    "Edges/Node",
+    "Subgraphs",
+    "Avg Size",
+    "Std Dev",
+    "Compr States",
+    "Compr Factor",
+    "Active Set",
+]
+
+
+def format_table(rows: list[BenchmarkRow]) -> str:
+    """Render rows as an aligned text table in Table I's column order."""
+    grid = [_HEADERS]
+    for row in rows:
+        s = row.static
+        grid.append(
+            [
+                row.name,
+                f"{s.states:,}",
+                f"{s.edges:,}",
+                f"{s.edges_per_node:.2f}",
+                f"{s.subgraph_count:,}",
+                f"{s.avg_component_size:.2f}",
+                f"{s.std_component_size:.2f}",
+                f"{row.compressed_states:,}" if row.compressed_states is not None else "NA",
+                f"{row.compression_factor:.2f}x" if row.compression_factor is not None else "NA",
+                f"{row.dynamic.mean_active_set:.1f}" if row.dynamic is not None else "NA",
+            ]
+        )
+    widths = [max(len(line[col]) for line in grid) for col in range(len(_HEADERS))]
+    lines = []
+    for line_number, line in enumerate(grid):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        if line_number == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Automata transformations: prefix-merge, striding, widening."""
+
+from repro.transforms.prefix_merge import MergeStats, merge_common_prefixes
+from repro.transforms.striding import pack_bits, stride
+from repro.transforms.suffix_merge import merge_bidirectional, merge_common_suffixes
+from repro.transforms.widening import widen
+
+__all__ = [
+    "MergeStats",
+    "merge_bidirectional",
+    "merge_common_prefixes",
+    "merge_common_suffixes",
+    "pack_bits",
+    "stride",
+    "widen",
+]

@@ -1,0 +1,184 @@
+"""k-striding: transform an automaton to consume k symbols per cycle.
+
+Section IX-B of the paper uses 8-striding to turn bit-level automata (over
+symbols {0, 1}) into byte-level automata executable by ordinary engines:
+each strided transition consumes 8 bits (one byte, most-significant bit
+first, matching how file formats document bit-fields).
+
+The construction walks every length-k symbol block from every state (and
+from pseudo start states) through the original automaton, producing an
+edge-labelled NFA over the original states plus per-report-code accept
+sinks; :meth:`~repro.core.nfa.NFA.to_homogeneous` then yields a byte-level
+homogeneous automaton.
+
+Report semantics: if a bit-level report fires anywhere inside a consumed
+block, the strided automaton reports at that block's offset with the same
+report code.  For byte-aligned patterns (the file-carving use-case) this is
+exact; for unaligned patterns it coarsens the offset to block granularity.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import StartMode
+from repro.core.nfa import NFA
+from repro.errors import AutomatonError
+
+__all__ = ["stride", "pack_bits"]
+
+
+def pack_bits(bits: bytes, *, k: int = 8) -> bytes:
+    """Pack a stream of 0/1 symbols into k-bit block symbols (MSB first).
+
+    The inverse view of what a k-strided automaton consumes.  Trailing bits
+    that do not fill a block are dropped (a strided automaton cannot
+    consume a partial block).
+    """
+    if any(b > 1 for b in bits):
+        raise ValueError("input symbols must be 0 or 1")
+    out = bytearray()
+    for base in range(0, len(bits) - k + 1, k):
+        value = 0
+        for bit in bits[base : base + k]:
+            value = (value << 1) | bit
+        out.append(value)
+    return bytes(out)
+
+
+def stride(automaton: Automaton, k: int = 8) -> Automaton:
+    """Return the k-strided equivalent of a (typically bit-level) automaton.
+
+    The input alphabet is inferred from the automaton's charsets; each
+    strided symbol packs k input symbols (MSB first), so
+    ``bits_per_symbol * k`` must be at most 8.  Counters are unsupported.
+    """
+    if k < 1:
+        raise ValueError("stride factor must be >= 1")
+    if any(True for _ in automaton.counters()):
+        raise AutomatonError("striding does not support counter elements")
+
+    stes = list(automaton.stes())
+    if not stes:
+        return Automaton(f"{automaton.name}.x{k}")
+    index = {ste.ident: i for i, ste in enumerate(stes)}
+
+    max_symbol = max(max(ste.charset, default=0) for ste in stes)
+    bits_per_symbol = max(1, max_symbol.bit_length())
+    if bits_per_symbol * k > 8:
+        raise AutomatonError(
+            f"cannot {k}-stride a {bits_per_symbol}-bit alphabet: "
+            f"block symbols would exceed one byte"
+        )
+    n_input_symbols = 1 << bits_per_symbol
+
+    # Bitmask-based stepping machinery over original states.
+    symbol_masks = []
+    for symbol in range(n_input_symbols):
+        mask = 0
+        for i, ste in enumerate(stes):
+            if ste.charset.matches(symbol):
+                mask |= 1 << i
+        symbol_masks.append(mask)
+    succ_mask = [0] * len(stes)
+    for ste in stes:
+        i = index[ste.ident]
+        for dst in automaton.successors(ste.ident):
+            succ_mask[i] |= 1 << index[dst]
+    report_mask = 0
+    code_of: dict[int, object] = {}
+    for ste in stes:
+        if ste.report:
+            i = index[ste.ident]
+            report_mask |= 1 << i
+            code_of[i] = ste.report_code
+    all_input_mask = 0
+    anchored_mask = 0
+    for ste in stes:
+        if ste.start is StartMode.ALL_INPUT:
+            all_input_mask |= 1 << index[ste.ident]
+        elif ste.start is StartMode.START_OF_DATA:
+            anchored_mask |= 1 << index[ste.ident]
+
+    def iter_bits(mask: int):
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def walk(initial: int, inject_all_input: bool):
+        """All k-symbol walks from the ``initial`` enabled-set mask.
+
+        Yields ``(block_value, end_mask, report_codes)`` per surviving
+        block, exploring the symbol tree depth-first so shared prefixes are
+        stepped once.
+        """
+        results: list[tuple[int, int, frozenset]] = []
+
+        def recurse(depth: int, value: int, enabled: int, codes: frozenset):
+            if depth == k:
+                if enabled or codes:
+                    results.append((value, enabled, codes))
+                return
+            for symbol in range(n_input_symbols):
+                matched = enabled & symbol_masks[symbol]
+                reporters = matched & report_mask
+                nxt = 0
+                for i in iter_bits(matched):
+                    nxt |= succ_mask[i]
+                if inject_all_input:
+                    nxt |= all_input_mask
+                new_codes = codes
+                if reporters:
+                    new_codes = codes | {code_of[i] for i in iter_bits(reporters)}
+                if nxt or new_codes:
+                    recurse(
+                        depth + 1, (value << bits_per_symbol) | symbol, nxt, new_codes
+                    )
+
+        recurse(0, 0, initial, frozenset())
+        return results
+
+    # Build the strided NFA: original states + pseudo-starts + accept sinks.
+    nfa = NFA(f"{automaton.name}.x{k}")
+    START_ALL = ("#start-all",)
+    START_ANCHOR = ("#start-anchor",)
+    acc_states: dict[str, object] = {}
+
+    def acc_state(code: object):
+        key = repr(code)
+        if key not in acc_states:
+            state = ("#acc", key)
+            nfa.add_state(state, accept=True, report_code=code)
+            acc_states[key] = state
+        return acc_states[key]
+
+    for i in range(len(stes)):
+        nfa.add_state(i)
+
+    def emit(src: object, initial: int, inject: bool) -> None:
+        by_target: dict[object, int] = {}
+        for value, end_mask, codes in walk(initial, inject):
+            for i in iter_bits(end_mask):
+                by_target[i] = by_target.get(i, 0) | (1 << value)
+            for code in codes:
+                target = acc_state(code)
+                by_target[target] = by_target.get(target, 0) | (1 << value)
+        for target, mask in by_target.items():
+            nfa.add_transition(src, CharSet.from_mask(mask), target)
+
+    if all_input_mask:
+        # Active before every block: covers matches starting at any bit of
+        # the block (mid-block start-state injection included).
+        nfa.add_state(START_ALL, start_all=True)
+        emit(START_ALL, all_input_mask, inject=True)
+    if anchored_mask:
+        # Active before block 0 only: matches anchored to stream start.
+        nfa.add_state(START_ANCHOR, start=True)
+        emit(START_ANCHOR, anchored_mask, inject=False)
+    for i in range(len(stes)):
+        # A token at state i means "i was enabled at the block boundary";
+        # mid-block injections are covered by START_ALL every block.
+        emit(i, 1 << i, inject=False)
+
+    return nfa.to_homogeneous(f"{automaton.name}.x{k}")

@@ -1,0 +1,119 @@
+"""Suffix-merging optimization (the dual of prefix merging).
+
+Two states are forward-indistinguishable when they have the same character
+set, start mode, report behaviour, and the same (merged) *successor* set:
+any token reaching either produces identical futures, so they can merge.
+Iterating backwards-to-fixpoint folds common pattern suffixes the way
+prefix merging folds shared prefixes; running both passes alternately
+(:func:`merge_bidirectional`) gives the full VASim-style compression.
+
+Like prefix merging, the pass preserves the *set* of (offset, report-code)
+events (property-tested).  Two same-coded reporting states firing on the
+same cycle collapse into one event after merging — report multiplicity per
+identical code is not preserved, matching VASim's behaviour.  Counters
+never merge.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import Automaton
+from repro.core.elements import CounterElement, STE
+from repro.transforms.prefix_merge import MergeStats, merge_common_prefixes
+
+__all__ = ["merge_common_suffixes", "merge_bidirectional"]
+
+
+def merge_common_suffixes(automaton: Automaton) -> tuple[Automaton, MergeStats]:
+    """Return a suffix-merged copy of ``automaton`` plus statistics."""
+    idents = list(automaton.idents())
+    parent: dict[str, str] = {ident: ident for ident in idents}
+
+    def find(ident: str) -> str:
+        root = ident
+        while parent[root] != root:
+            root = parent[root]
+        while parent[ident] != root:
+            parent[ident], ident = root, parent[ident]
+        return root
+
+    succ = {i: automaton.successors(i) for i in idents}
+    passes = 0
+    changed = True
+    while changed:
+        changed = False
+        passes += 1
+        groups: dict[tuple, str] = {}
+        for ident in idents:
+            if find(ident) != ident:
+                continue
+            element = automaton[ident]
+            if isinstance(element, CounterElement):
+                continue
+            signature = (
+                element.charset.mask,
+                element.start,
+                element.report,
+                repr(element.report_code) if element.report else None,
+                frozenset(find(s) for s in succ[ident]),
+            )
+            existing = groups.get(signature)
+            if existing is None:
+                groups[signature] = ident
+            else:
+                parent[ident] = existing
+                changed = True
+
+    merged = Automaton(automaton.name)
+    for ident in idents:
+        if find(ident) != ident:
+            continue
+        element = automaton[ident]
+        if isinstance(element, STE):
+            merged.add_ste(
+                ident,
+                element.charset,
+                start=element.start,
+                report=element.report,
+                report_code=element.report_code,
+            )
+        else:
+            merged.add_counter(
+                ident,
+                element.target,
+                mode=element.mode,
+                report=element.report,
+                report_code=element.report_code,
+            )
+    for src, dst in automaton.edges():
+        merged.add_edge(find(src), find(dst))
+    for src, counter in automaton.reset_edges():
+        merged.add_reset_edge(find(src), find(counter))
+
+    return merged, MergeStats(
+        states_before=automaton.n_states,
+        states_after=merged.n_states,
+        passes=passes,
+    )
+
+
+def merge_bidirectional(
+    automaton: Automaton, *, max_rounds: int = 8
+) -> tuple[Automaton, MergeStats]:
+    """Alternate prefix and suffix merging to a joint fixpoint."""
+    before = automaton.n_states
+    current = automaton
+    total_passes = 0
+    for _round in range(max_rounds):
+        current, prefix_stats = merge_common_prefixes(current)
+        current, suffix_stats = merge_common_suffixes(current)
+        total_passes += prefix_stats.passes + suffix_stats.passes
+        if (
+            prefix_stats.states_after == prefix_stats.states_before
+            and suffix_stats.states_after == suffix_stats.states_before
+        ):
+            break
+    return current, MergeStats(
+        states_before=before,
+        states_after=current.n_states,
+        passes=total_passes,
+    )

@@ -1,0 +1,50 @@
+"""Widening: adapt a byte automaton to 2-byte-per-symbol (wide) streams.
+
+YARA "wide" strings match UTF-16LE-encoded ASCII: every pattern byte is
+followed by a zero byte.  Section IX-A of the paper implements widening "as
+a VASim automata transformation [that] pads the automata with states that
+only recognize zero"; this module is that pass.
+
+Every STE ``s`` gains a companion pad state ``z_s`` matching only the pad
+symbol; original edges ``u -> v`` are rerouted ``z_u -> v``, and reporting
+moves to the pad state so a report fires only after the full wide encoding
+(including the trailing zero) has been consumed.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import STE
+from repro.errors import AutomatonError
+
+__all__ = ["widen"]
+
+
+def widen(automaton: Automaton, *, pad_symbol: int = 0) -> Automaton:
+    """Return the widened equivalent of ``automaton``.
+
+    The result matches the original patterns on streams where every
+    original symbol is followed by ``pad_symbol``; reports fire at the
+    offset of the trailing pad byte.  Counters are not supported (the
+    paper's widened YARA rules contain none).
+    """
+    if any(True for _ in automaton.counters()):
+        raise AutomatonError("widening does not support counter elements")
+    pad = CharSet.single(pad_symbol)
+
+    wide = Automaton(f"{automaton.name}.wide")
+    for ste in automaton.stes():
+        wide.add_ste(ste.ident, ste.charset, start=ste.start)
+        wide.add_ste(
+            f"{ste.ident}~pad",
+            pad,
+            report=ste.report,
+            report_code=ste.report_code,
+        )
+        wide.add_edge(ste.ident, f"{ste.ident}~pad")
+    for src, dst in automaton.edges():
+        if not isinstance(automaton[src], STE):  # pragma: no cover - guarded above
+            raise AutomatonError("widening does not support counter elements")
+        wide.add_edge(f"{src}~pad", dst)
+    return wide

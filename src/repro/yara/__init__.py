@@ -1,0 +1,18 @@
+"""YARA malware-rule substrate (Section IX-A)."""
+
+from repro.yara.hexstring import (
+    hex_string_to_regex,
+    nibble_charset_regex,
+    tokenize_hex_string,
+)
+from repro.yara.parser import YaraRule, YaraString, evaluate_condition, parse_yara
+
+__all__ = [
+    "YaraRule",
+    "YaraString",
+    "evaluate_condition",
+    "hex_string_to_regex",
+    "nibble_charset_regex",
+    "parse_yara",
+    "tokenize_hex_string",
+]

@@ -1,0 +1,134 @@
+"""YARA hex-string patterns → regular expressions (Section IX-A).
+
+YARA hex strings describe byte sequences at nibble (4-bit) granularity::
+
+    9C 50 A1 ?? (?A ?? 00 | 66 A9 D?) ?? 58 0F 85
+
+``??`` is a full wildcard byte, ``A?``/``?A`` constrain one nibble,
+``[n-m]`` is a bounded jump (run of wildcards), ``[n-]`` unbounded, and
+``( .. | .. )`` alternates byte sequences.  Most automata toolchains only
+speak byte-level patterns, so the paper's pipeline converts "nibble-level
+pattern wildcards ... into a complex byte-level character set within the
+regular expression"; this module is that converter.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PatternError
+
+__all__ = ["nibble_charset_regex", "hex_string_to_regex", "tokenize_hex_string"]
+
+_HEX = "0123456789abcdefABCDEF"
+_ANY_BYTE = r"[\x00-\xff]"
+
+
+def nibble_charset_regex(high: str, low: str) -> str:
+    """Regex snippet for one byte with possibly-wildcard nibbles.
+
+    ``high``/``low`` are hex digits or ``?``.
+    """
+    if high == "?" and low == "?":
+        return _ANY_BYTE
+    if high != "?" and low != "?":
+        return rf"\x{high}{low}".lower()
+    if low == "?":
+        # fixed high nibble: a contiguous 16-byte range
+        base = int(high, 16) << 4
+        return rf"[\x{base:02x}-\x{base + 15:02x}]"
+    # fixed low nibble: 16 bytes spaced 0x10 apart
+    nib = int(low, 16)
+    options = "".join(rf"\x{(h << 4) | nib:02x}" for h in range(16))
+    return f"[{options}]"
+
+
+def tokenize_hex_string(text: str) -> list[tuple[str, object]]:
+    """Tokenise a hex string into (kind, value) pairs.
+
+    Kinds: ``byte`` (high, low nibble chars), ``jump`` ((lo, hi|None)),
+    ``alt_open``, ``alt_sep``, ``alt_close``.
+    """
+    tokens: list[tuple[str, object]] = []
+    i = 0
+    text = text.strip()
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch == "(":
+            tokens.append(("alt_open", None))
+            i += 1
+        elif ch == "|":
+            tokens.append(("alt_sep", None))
+            i += 1
+        elif ch == ")":
+            tokens.append(("alt_close", None))
+            i += 1
+        elif ch == "[":
+            end = text.find("]", i)
+            if end < 0:
+                raise PatternError(f"unterminated jump in hex string: {text[i:i+10]!r}")
+            body = text[i + 1 : end].strip()
+            if "-" in body:
+                lo_s, hi_s = body.split("-", 1)
+                lo = int(lo_s) if lo_s.strip() else 0
+                hi = int(hi_s) if hi_s.strip() else None
+            else:
+                lo = hi = int(body)
+            if hi is not None and hi < lo:
+                raise PatternError(f"inverted jump bounds [{body}]")
+            tokens.append(("jump", (lo, hi)))
+            i = end + 1
+        elif ch in _HEX or ch == "?":
+            if i + 1 >= len(text) or (text[i + 1] not in _HEX and text[i + 1] != "?"):
+                raise PatternError(f"lone nibble at position {i} in hex string")
+            tokens.append(("byte", (ch, text[i + 1])))
+            i += 2
+        else:
+            raise PatternError(f"bad character {ch!r} in hex string")
+    return tokens
+
+
+def hex_string_to_regex(text: str, *, max_unbounded_jump: int | None = None) -> str:
+    """Convert a YARA hex string to a regex our compiler accepts.
+
+    Unbounded jumps ``[n-]`` become ``{n,}`` wildcard runs.  When
+    ``max_unbounded_jump`` is set they are clamped to ``{n,max}`` instead,
+    which keeps counted-expansion sizes bounded for very long signatures.
+    """
+    tokens = tokenize_hex_string(text)
+    out: list[str] = []
+    depth = 0
+    for kind, value in tokens:
+        if kind == "byte":
+            out.append(nibble_charset_regex(*value))
+        elif kind == "jump":
+            lo, hi = value
+            if hi is None:
+                if max_unbounded_jump is not None:
+                    hi = max(lo, max_unbounded_jump)
+                    out.append(_ANY_BYTE + f"{{{lo},{hi}}}")
+                elif lo == 0:
+                    out.append(_ANY_BYTE + "*")
+                else:
+                    out.append(_ANY_BYTE + f"{{{lo},}}")
+            elif lo == hi:
+                out.append(_ANY_BYTE + f"{{{lo}}}" if lo != 1 else _ANY_BYTE)
+            else:
+                out.append(_ANY_BYTE + f"{{{lo},{hi}}}")
+        elif kind == "alt_open":
+            out.append("(?:")
+            depth += 1
+        elif kind == "alt_sep":
+            if depth == 0:
+                raise PatternError("alternation separator outside a group")
+            out.append("|")
+        elif kind == "alt_close":
+            if depth == 0:
+                raise PatternError("unbalanced ) in hex string")
+            out.append(")")
+            depth -= 1
+    if depth != 0:
+        raise PatternError("unbalanced ( in hex string")
+    if not out:
+        raise PatternError("empty hex string")
+    return "".join(out)

@@ -1,0 +1,180 @@
+"""Mini YARA rule parser (the plyara stand-in of Section IX-A).
+
+Supports the subset of YARA the benchmark pipeline needs: rules with a
+``strings`` section containing hex strings (``{ ... }``), text strings
+(``"..."`` with ``nocase``/``wide``/``ascii``/``fullword`` modifiers), and
+regex strings (``/.../``), plus a ``condition`` over the string ids
+(``any of them``, ``all of them``, and and/or combinations of ``$id``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import PatternError
+
+__all__ = ["YaraString", "YaraRule", "parse_yara", "evaluate_condition"]
+
+_STRING_MODIFIERS = {"nocase", "wide", "ascii", "fullword"}
+
+
+@dataclass(frozen=True)
+class YaraString:
+    """One entry of a rule's strings section."""
+
+    ident: str  # includes the leading $
+    kind: str  # "hex" | "text" | "regex"
+    value: str  # hex body / literal text / bare regex
+    modifiers: frozenset[str] = field(default=frozenset())
+
+    @property
+    def is_wide(self) -> bool:
+        return "wide" in self.modifiers
+
+    @property
+    def is_nocase(self) -> bool:
+        return "nocase" in self.modifiers
+
+
+@dataclass(frozen=True)
+class YaraRule:
+    name: str
+    tags: tuple[str, ...]
+    strings: tuple[YaraString, ...]
+    condition: str
+
+    def string(self, ident: str) -> YaraString:
+        for string in self.strings:
+            if string.ident == ident:
+                return string
+        raise KeyError(ident)
+
+
+_RULE_HEADER = re.compile(r"rule\s+(?P<name>\w+)\s*(?::\s*(?P<tags>[\w\s]+?))?\s*\{")
+_STRING_LINE = re.compile(r"^\s*(?P<ident>\$\w*)\s*=\s*(?P<body>.+?)\s*$")
+
+
+def _parse_string_body(ident: str, body: str) -> YaraString:
+    body = body.strip()
+    if body.startswith("{"):
+        end = body.rfind("}")
+        if end < 0:
+            raise PatternError(f"unterminated hex string for {ident}")
+        return YaraString(ident, "hex", body[1:end].strip())
+    if body.startswith('"'):
+        end = body.rfind('"')
+        if end == 0:
+            raise PatternError(f"unterminated text string for {ident}")
+        text = body[1:end]
+        modifiers = frozenset(
+            word for word in body[end + 1 :].split() if word in _STRING_MODIFIERS
+        )
+        unknown = set(body[end + 1 :].split()) - _STRING_MODIFIERS
+        if unknown:
+            raise PatternError(f"unknown string modifiers {unknown} for {ident}")
+        return YaraString(ident, "text", text, modifiers)
+    if body.startswith("/"):
+        end = body.rfind("/")
+        if end == 0:
+            raise PatternError(f"unterminated regex string for {ident}")
+        modifiers = frozenset(
+            word for word in body[end + 1 :].split() if word in _STRING_MODIFIERS
+        )
+        return YaraString(ident, "regex", body[1:end], modifiers)
+    raise PatternError(f"unrecognised string body for {ident}: {body[:30]!r}")
+
+
+def parse_yara(text: str) -> list[YaraRule]:
+    """Parse a YARA source file into rules."""
+    rules: list[YaraRule] = []
+    pos = 0
+    while True:
+        header = _RULE_HEADER.search(text, pos)
+        if header is None:
+            break
+        name = header.group("name")
+        tags = tuple((header.group("tags") or "").split())
+        # find the matching closing brace (strings/conditions contain no
+        # nested braces except hex strings, which we track)
+        depth = 1
+        i = header.end()
+        while i < len(text) and depth:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        if depth:
+            raise PatternError(f"unterminated rule {name}")
+        body = text[header.end() : i - 1]
+        pos = i
+
+        strings: list[YaraString] = []
+        condition = ""
+        section = None
+        for line in body.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            lowered = stripped.lower()
+            if lowered.startswith("meta:"):
+                section = "meta"
+                continue
+            if lowered.startswith("strings:"):
+                section = "strings"
+                stripped = stripped[len("strings:") :].strip()
+                if not stripped:
+                    continue
+                # fall through: a string defined on the same line
+            if lowered.startswith("condition:"):
+                section = "condition"
+                condition = stripped[len("condition:") :].strip()
+                continue
+            if section == "strings":
+                match = _STRING_LINE.match(stripped)
+                if match is None:
+                    raise PatternError(f"bad string line in {name}: {stripped!r}")
+                strings.append(
+                    _parse_string_body(match.group("ident"), match.group("body"))
+                )
+            elif section == "condition" and stripped:
+                condition = (condition + " " + stripped).strip()
+        if not strings:
+            raise PatternError(f"rule {name} has no strings")
+        if not condition:
+            raise PatternError(f"rule {name} has no condition")
+        rules.append(YaraRule(name, tags, tuple(strings), condition))
+    return rules
+
+
+def evaluate_condition(rule: YaraRule, matched: set[str]) -> bool:
+    """Evaluate a rule condition given the set of matched string idents.
+
+    Supports ``any of them``, ``all of them``, ``N of them``, and
+    boolean combinations of ``$id`` with and/or/not and parentheses.
+    """
+    condition = rule.condition.strip()
+    all_ids = [s.ident for s in rule.strings]
+    lowered = condition.lower()
+    of_them = re.fullmatch(r"(any|all|\d+)\s+of\s+them", lowered)
+    if of_them:
+        quantifier = of_them.group(1)
+        count = sum(1 for ident in all_ids if ident in matched)
+        if quantifier == "any":
+            return count >= 1
+        if quantifier == "all":
+            return count == len(all_ids)
+        return count >= int(quantifier)
+
+    # boolean expression over $ids: translate to python and eval safely
+    tokens = re.findall(r"\$\w+|\(|\)|and|or|not", condition)
+    if "".join(tokens).replace("(", "").replace(")", "") == "":
+        raise PatternError(f"unsupported condition: {condition!r}")
+    expression = " ".join(
+        str(token in matched) if token.startswith("$") else token for token in tokens
+    )
+    try:
+        return bool(eval(expression, {"__builtins__": {}}, {}))
+    except SyntaxError as exc:
+        raise PatternError(f"unsupported condition: {condition!r}") from exc

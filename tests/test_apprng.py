@@ -1,0 +1,80 @@
+"""AP PRNG benchmark tests: structure, determinism, output quality."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.benchmarks.apprng import (
+    build_apprng_benchmark,
+    extract_output,
+    markov_chain_automaton,
+    random_input,
+)
+from repro.engines import ReferenceEngine, VectorEngine
+
+
+class TestStructure:
+    def test_state_counts_match_table1(self):
+        # Table I: 20 states/chain (4-sided), 72 states/chain (8-sided)
+        assert markov_chain_automaton(4).n_states == 20
+        assert markov_chain_automaton(8).n_states == 72
+
+    def test_benchmark_scaling(self):
+        bench = build_apprng_benchmark(4, n_chains=10)
+        assert bench.n_states == 200
+        assert len(bench.connected_components()) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            markov_chain_automaton(1)
+        with pytest.raises(ValueError):
+            markov_chain_automaton(300)
+
+
+class TestExecution:
+    def test_one_report_per_cycle_per_chain(self):
+        automaton = markov_chain_automaton(4, chain_id=0, seed=1)
+        data = random_input(200, seed=2)
+        result = ReferenceEngine(automaton).run(data)
+        # reports start at cycle 1 (face known after first transition)
+        assert result.report_count == 199
+
+    def test_deterministic_for_fixed_input(self):
+        automaton = markov_chain_automaton(8, chain_id=0, seed=3)
+        data = random_input(100, seed=4)
+        a = extract_output(automaton, data)
+        b = extract_output(automaton, data)
+        assert a == b
+
+    def test_chains_differ(self):
+        bench = build_apprng_benchmark(4, n_chains=2, seed=5, uniform=False)
+        data = random_input(300, seed=6)
+        output = extract_output(bench, data)
+        assert output[0] != output[1]
+
+
+class TestOutputQuality:
+    def test_uniform_die_is_uniform(self):
+        """Chi-square uniformity of the face sequence (the paper's
+        'high-quality pseudo-random behaviour' claim)."""
+        automaton = markov_chain_automaton(4, chain_id=0, seed=7)
+        data = random_input(6000, seed=8)
+        faces = extract_output(automaton, data, engine=VectorEngine(automaton))[0]
+        counts = np.bincount(faces, minlength=4)
+        _, p_value = stats.chisquare(counts)
+        assert p_value > 0.001
+
+    def test_eight_sided_covers_all_faces(self):
+        automaton = markov_chain_automaton(8, chain_id=0, seed=9)
+        data = random_input(4000, seed=10)
+        faces = extract_output(automaton, data)[0]
+        assert set(faces) == set(range(8))
+
+    def test_nonuniform_die_skewed(self):
+        automaton = markov_chain_automaton(4, chain_id=0, seed=11, uniform=False)
+        data = random_input(6000, seed=12)
+        faces = extract_output(automaton, data)[0]
+        counts = np.bincount(faces, minlength=4)
+        # random weights 1..8: very unlikely to look uniform
+        _, p_value = stats.chisquare(counts)
+        assert p_value < 0.5

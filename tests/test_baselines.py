@@ -1,0 +1,155 @@
+"""Tests for Aho-Corasick, Shift-And, Hamming/Levenshtein matchers."""
+
+import random
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    AhoCorasick,
+    MyersMatcher,
+    ShiftAndMatcher,
+    hamming_matches,
+    levenshtein_matches,
+)
+from repro.core.charset import CharSet
+
+
+class TestAhoCorasick:
+    def test_classic_example(self):
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        hits = sorted(ac.search(b"ushers"))
+        # "she" and "he" both end at offset 3; "hers" ends at offset 5.
+        assert hits == [(3, 0), (3, 1), (5, 3)]
+
+    def test_overlapping_and_nested(self):
+        ac = AhoCorasick([b"a", b"aa", b"aaa"])
+        assert ac.count(b"aaa") == 6
+
+    def test_no_match(self):
+        assert AhoCorasick([b"xyz"]).count(b"abcabc") == 0
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([b""])
+
+    def test_pattern_ids_stable(self):
+        ac = AhoCorasick([b"ab", b"bc"])
+        assert sorted(ac.search(b"abc")) == [(1, 0), (2, 1)]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        patterns=st.lists(
+            st.text(alphabet="ab", min_size=1, max_size=4).map(str.encode),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        ),
+        data=st.text(alphabet="ab", max_size=30).map(str.encode),
+    )
+    def test_against_regex_oracle(self, patterns, data):
+        ac = AhoCorasick(patterns)
+        got = sorted(ac.search(data))
+        expected = sorted(
+            (m.start() + len(p) - 1, i)
+            for i, p in enumerate(patterns)
+            for m in re.finditer(b"(?=" + re.escape(p) + b")", data)
+        )
+        assert got == expected
+
+
+class TestShiftAnd:
+    def test_exact_bytes(self):
+        m = ShiftAndMatcher.from_bytes(b"abc")
+        assert m.search(b"xabcabc") == [3, 6]
+
+    def test_class_positions(self):
+        m = ShiftAndMatcher([CharSet.from_chars("ab"), CharSet.from_chars("c")])
+        assert m.search(b"ac bc cc") == [1, 4]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftAndMatcher([])
+
+    def test_long_pattern_over_64(self):
+        pattern = bytes(range(65, 65 + 70))
+        m = ShiftAndMatcher.from_bytes(pattern)
+        assert m.search(b"xx" + pattern + b"yy") == [71]
+
+
+class TestHammingMatches:
+    def test_exact(self):
+        assert hamming_matches(b"abc", b"xxabcxx", 0) == [4]
+
+    def test_with_mismatches(self):
+        assert hamming_matches(b"abc", b"abdabc", 1) == [2, 5]
+
+    def test_threshold_zero_vs_high(self):
+        assert hamming_matches(b"aaaa", b"bbbb", 4) == [3]
+        assert hamming_matches(b"aaaa", b"bbbb", 3) == []
+
+    def test_short_text(self):
+        assert hamming_matches(b"abcd", b"ab", 4) == []
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_matches(b"", b"abc", 1)
+
+
+def brute_levenshtein(a: bytes, b: bytes) -> int:
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        cur = [i]
+        for j, cb in enumerate(b, 1):
+            cur.append(min(prev[j] + 1, cur[-1] + 1, prev[j - 1] + (ca != cb)))
+        prev = cur
+    return prev[-1]
+
+
+def brute_sellers(pattern: bytes, text: bytes, d: int) -> list[int]:
+    out = []
+    for t in range(len(text)):
+        best = min(
+            brute_levenshtein(pattern, text[i : t + 1]) for i in range(t + 2)
+        )
+        if best <= d:
+            out.append(t)
+    return out
+
+
+class TestLevenshteinMatchers:
+    def test_exact_match(self):
+        assert levenshtein_matches(b"abc", b"xabcx", 0) == [3]
+
+    def test_substitution(self):
+        assert 3 in levenshtein_matches(b"abc", b"xaXcx", 1)
+
+    def test_insertion_and_deletion(self):
+        assert 4 in levenshtein_matches(b"abc", b"xabXc", 1)  # insertion
+        assert 2 in levenshtein_matches(b"abc", b"xac", 1)  # deletion
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pattern=st.text(alphabet="ab", min_size=1, max_size=5).map(str.encode),
+        text=st.text(alphabet="ab", max_size=12).map(str.encode),
+        d=st.integers(0, 3),
+    )
+    def test_sellers_against_bruteforce(self, pattern, text, d):
+        assert levenshtein_matches(pattern, text, d) == brute_sellers(pattern, text, d)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pattern=st.text(alphabet="abc", min_size=1, max_size=8).map(str.encode),
+        text=st.text(alphabet="abc", max_size=20).map(str.encode),
+        d=st.integers(0, 3),
+    )
+    def test_myers_matches_sellers(self, pattern, text, d):
+        myers = MyersMatcher(pattern, d)
+        assert myers.search(text) == levenshtein_matches(pattern, text, d)
+
+    def test_myers_long_pattern(self):
+        pattern = bytes(random.Random(1).choices(b"acgt", k=80))
+        text = b"x" * 10 + pattern + b"y" * 10
+        assert 10 + 80 - 1 in MyersMatcher(pattern, 0).search(text)

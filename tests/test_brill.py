@@ -1,0 +1,162 @@
+"""Brill tagging benchmark tests."""
+
+import pytest
+
+from repro.benchmarks.brill import (
+    BrillRule,
+    TEMPLATES,
+    build_brill_automaton,
+    generate_brill_rules,
+)
+from repro.engines import VectorEngine
+from repro.inputs.corpus import (
+    POS_TAGS,
+    generate_tagged_corpus,
+    tag_symbol,
+    word_symbol,
+)
+
+
+def stream_of(tokens):
+    """tokens: list of (word_class, tag_name) -> symbol stream."""
+    out = bytearray()
+    for word, tag in tokens:
+        out.append(word_symbol(word))
+        out.append(tag_symbol(tag))
+    return bytes(out)
+
+
+class TestTemplates:
+    def run_rule(self, rule, tokens):
+        automaton = build_brill_automaton([rule])
+        return VectorEngine(automaton).run(stream_of(tokens)).reports
+
+    def test_prev_tag_fires(self):
+        rule = BrillRule(0, "NN", "VB", "prev_tag", ("DT",))
+        hits = self.run_rule(rule, [(1, "DT"), (2, "NN")])
+        assert len(hits) == 1
+        # reports on the current token's tag symbol (position 3)
+        assert hits[0].offset == 3
+
+    def test_prev_tag_does_not_fire_on_wrong_context(self):
+        rule = BrillRule(0, "NN", "VB", "prev_tag", ("DT",))
+        assert not self.run_rule(rule, [(1, "JJ"), (2, "NN")])
+        assert not self.run_rule(rule, [(1, "DT"), (2, "VB")])
+
+    def test_next_tag(self):
+        rule = BrillRule(0, "NN", "VB", "next_tag", ("IN",))
+        assert self.run_rule(rule, [(1, "NN"), (2, "IN")])
+        assert not self.run_rule(rule, [(1, "NN"), (2, "DT")])
+
+    def test_prev_two_tags(self):
+        rule = BrillRule(0, "NN", "VB", "prev_two_tags", ("DT", "JJ"))
+        assert self.run_rule(rule, [(1, "DT"), (2, "JJ"), (3, "NN")])
+        assert not self.run_rule(rule, [(1, "JJ"), (2, "DT"), (3, "NN")])
+
+    def test_surrounding_tags(self):
+        rule = BrillRule(0, "NN", "VB", "surrounding_tags", ("DT", "IN"))
+        assert self.run_rule(rule, [(1, "DT"), (2, "NN"), (3, "IN")])
+        assert not self.run_rule(rule, [(1, "DT"), (2, "NN"), (3, "DT")])
+
+    def test_prev_word(self):
+        rule = BrillRule(0, "NN", "VB", "prev_word", (7,))
+        assert self.run_rule(rule, [(7, "JJ"), (2, "NN")])
+        assert not self.run_rule(rule, [(8, "JJ"), (2, "NN")])
+
+    def test_cur_word_prev_tag(self):
+        rule = BrillRule(0, "NN", "VB", "cur_word_prev_tag", (9, "DT"))
+        assert self.run_rule(rule, [(1, "DT"), (9, "NN")])
+        assert not self.run_rule(rule, [(1, "DT"), (8, "NN")])
+        assert not self.run_rule(rule, [(1, "JJ"), (9, "NN")])
+
+
+class TestGeneration:
+    def test_rule_count_and_uniqueness(self):
+        rules = generate_brill_rules(500, seed=0)
+        assert len(rules) == 500
+        keys = {(r.template, r.from_tag, r.context) for r in rules}
+        assert len(keys) == 500
+
+    def test_all_templates_used(self):
+        rules = generate_brill_rules(300, seed=1)
+        assert {r.template for r in rules} == set(TEMPLATES)
+
+    def test_deterministic(self):
+        assert generate_brill_rules(50, seed=2) == generate_brill_rules(50, seed=2)
+
+    def test_benchmark_runs_on_corpus(self):
+        rules = generate_brill_rules(200, seed=3)
+        automaton = build_brill_automaton(rules)
+        corpus = generate_tagged_corpus(2000, seed=4)
+        result = VectorEngine(automaton).run(corpus, record_active=True)
+        assert result.report_count > 0  # realistic contexts occur
+        assert result.mean_active_set > 0
+
+    def test_corpus_structure(self):
+        corpus = generate_tagged_corpus(100, seed=5)
+        assert len(corpus) == 200
+        # even positions are word symbols, odd are tag symbols
+        tags = set(corpus[1::2])
+        words = set(corpus[0::2])
+        assert all(1 <= t <= len(POS_TAGS) for t in tags)
+        assert all(64 <= w for w in words)
+
+
+class TestApplication:
+    """The full Brill kernel: rules actually retag the stream."""
+
+    def test_single_rule_retags(self):
+        from repro.benchmarks.brill import apply_brill_rules
+
+        rule = BrillRule(0, "NN", "VB", "prev_tag", ("DT",))
+        corpus = stream_of([(1, "DT"), (2, "NN"), (3, "NN")])
+        retagged, changes = apply_brill_rules(corpus, [rule])
+        assert changes == 1
+        # only the NN preceded by DT changes
+        assert retagged[3] == tag_symbol("VB")
+        assert retagged[5] == tag_symbol("NN")
+
+    def test_next_tag_rule_targets_current_token(self):
+        from repro.benchmarks.brill import apply_brill_rules
+
+        rule = BrillRule(0, "NN", "JJ", "next_tag", ("IN",))
+        corpus = stream_of([(1, "NN"), (2, "IN")])
+        retagged, changes = apply_brill_rules(corpus, [rule])
+        assert changes == 1
+        assert retagged[1] == tag_symbol("JJ")
+        assert retagged[3] == tag_symbol("IN")
+
+    def test_rules_apply_sequentially(self):
+        from repro.benchmarks.brill import apply_brill_rules
+
+        # rule 1 creates the context rule 2 needs
+        rule1 = BrillRule(0, "NN", "VB", "prev_tag", ("DT",))
+        rule2 = BrillRule(1, "JJ", "RB", "prev_tag", ("VB",))
+        corpus = stream_of([(1, "DT"), (2, "NN"), (3, "JJ")])
+        retagged, changes = apply_brill_rules(corpus, [rule1, rule2])
+        assert changes == 2
+        assert retagged[3] == tag_symbol("VB")
+        assert retagged[5] == tag_symbol("RB")
+        # reversed order: rule 2 sees no VB context, only one change
+        _, reversed_changes = apply_brill_rules(corpus, [rule2, rule1])
+        assert reversed_changes == 1
+
+    def test_idempotent_when_no_context(self):
+        from repro.benchmarks.brill import apply_brill_rules
+
+        rule = BrillRule(0, "NN", "VB", "prev_tag", ("UH",))
+        corpus = stream_of([(1, "DT"), (2, "NN")])
+        retagged, changes = apply_brill_rules(corpus, [rule])
+        assert changes == 0
+        assert retagged == corpus
+
+    def test_kernel_on_generated_corpus(self):
+        from repro.benchmarks.brill import apply_brill_rules
+
+        rules = generate_brill_rules(40, seed=8)
+        corpus = generate_tagged_corpus(800, seed=9)
+        retagged, changes = apply_brill_rules(corpus, rules)
+        assert changes > 0
+        assert len(retagged) == len(corpus)
+        # word symbols never change, only tags
+        assert retagged[0::2] == corpus[0::2]

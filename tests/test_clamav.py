@@ -1,0 +1,116 @@
+"""ClamAV signature substrate and benchmark tests."""
+
+import pytest
+
+from repro.benchmarks.clamav import (
+    build_clamav_benchmark,
+    generate_signature_db,
+    materialize_signature,
+)
+from repro.clamav import hex_sig_to_regex, parse_database, parse_signature
+from repro.engines import ReferenceEngine, VectorEngine
+from repro.errors import PatternError
+from repro.regex import compile_regex
+
+
+def matches(regex: str, data: bytes) -> bool:
+    return ReferenceEngine(compile_regex(regex)).count_reports(data) > 0
+
+
+class TestSignatureParsing:
+    def test_basic_line(self):
+        sig = parse_signature("Win.Test.A:0:*:deadbeef")
+        assert sig.name == "Win.Test.A"
+        assert sig.target_type == 0
+        assert not sig.anchored
+        assert sig.hex_sig == "deadbeef"
+
+    def test_anchored_offset(self):
+        sig = parse_signature("X:0:2:cafe")
+        assert sig.anchored
+        regex = sig.to_regex()
+        assert regex.startswith("^")
+        assert matches(regex, b"\x00\x01\xca\xfe")
+        assert not matches(regex, b"\xca\xfe")
+
+    def test_database_parsing(self):
+        db = parse_database("# comment\nA:0:*:aabb\n\nB:1:*:ccdd\n")
+        assert [s.name for s in db] == ["A", "B"]
+
+    def test_errors(self):
+        for bad in ["nocolons", "A:0:*", "A:x:*:aa", "A:0:q:aa", ":0:*:aa"]:
+            with pytest.raises(PatternError):
+                parse_signature(bad)
+
+
+class TestHexSigConversion:
+    def test_plain_bytes(self):
+        assert matches(hex_sig_to_regex("deadbeef"), b"\xde\xad\xbe\xef")
+
+    def test_wildcard_byte(self):
+        regex = hex_sig_to_regex("aa??bb")
+        assert matches(regex, b"\xaa\x42\xbb")
+        assert not matches(regex, b"\xaa\xbb")
+
+    def test_nibble_wildcards(self):
+        regex = hex_sig_to_regex("a?")
+        assert matches(regex, b"\xa5")
+        assert not matches(regex, b"\x5a")
+
+    def test_gap_star_clamped(self):
+        regex = hex_sig_to_regex("aa*bb", max_unbounded_gap=3)
+        assert matches(regex, b"\xaa\x01\x02\xbb")
+        assert not matches(regex, b"\xaa" + b"\x00" * 8 + b"\xbb")
+
+    def test_bounded_jump(self):
+        regex = hex_sig_to_regex("aa{1-2}bb")
+        assert matches(regex, b"\xaa\x00\xbb")
+        assert matches(regex, b"\xaa\x00\x00\xbb")
+        assert not matches(regex, b"\xaa\xbb")
+
+    def test_alternation(self):
+        regex = hex_sig_to_regex("(aabb|ccdd)ee")
+        assert matches(regex, b"\xaa\xbb\xee")
+        assert matches(regex, b"\xcc\xdd\xee")
+        assert not matches(regex, b"\xaa\xdd\xee")
+
+    def test_errors(self):
+        with pytest.raises(PatternError):
+            hex_sig_to_regex("")
+        with pytest.raises(PatternError):
+            hex_sig_to_regex("a")
+        with pytest.raises(PatternError):
+            hex_sig_to_regex("aa{3-1}bb")
+
+
+class TestMaterialization:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_materialized_bytes_match_signature(self, seed):
+        for sig in generate_signature_db(12, seed=seed):
+            blob = materialize_signature(sig, seed=seed)
+            assert matches(sig.to_regex(), blob), sig.hex_sig
+
+
+class TestClamAVBenchmark:
+    @pytest.fixture(scope="class")
+    def clamav_bench(self):
+        return build_clamav_benchmark(n_signatures=25, seed=3, n_files=6)
+
+    def test_detects_both_planted_fragments(self, clamav_bench):
+        result = VectorEngine(clamav_bench.automaton).run(clamav_bench.image.data)
+        detected = {event.code for event in result.reports}
+        assert set(clamav_bench.planted) <= detected
+
+    def test_full_database_compiled(self, clamav_bench):
+        components = clamav_bench.automaton.connected_components()
+        assert len(components) == len(clamav_bench.signatures)
+
+    def test_ground_truth_labels(self, clamav_bench):
+        virus_entries = [
+            e for e in clamav_bench.image.entries if e.kind.startswith("virus:")
+        ]
+        assert len(virus_entries) == 2
+
+    def test_image_contains_ordinary_files(self, clamav_bench):
+        kinds = {e.kind for e in clamav_bench.image.entries}
+        assert len(kinds - {f"virus:{n}" for n in clamav_bench.planted}) >= 3

@@ -1,0 +1,137 @@
+"""CLI tests (direct main() invocation with captured output)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import from_anml, from_mnrl
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Snort" in out
+        assert "AP PRNG 8-sided" in out
+        assert len(out.strip().splitlines()) == 25
+
+
+class TestBuild:
+    def test_build_and_export_mnrl(self, tmp_path, capsys):
+        out = tmp_path / "h.mnrl"
+        stim = tmp_path / "h.input"
+        code = main(
+            [
+                "build",
+                "Hamming 18x3",
+                "--scale",
+                "0.005",
+                "--output",
+                str(out),
+                "--input-output",
+                str(stim),
+            ]
+        )
+        assert code == 0
+        automaton = from_mnrl(json.loads(out.read_text()))
+        assert automaton.n_states > 0
+        assert stim.stat().st_size > 0
+
+    def test_build_and_export_anml(self, tmp_path):
+        out = tmp_path / "f.anml"
+        assert main(["build", "File Carving", "--output", str(out)]) == 0
+        automaton = from_anml(out.read_text())
+        assert automaton.n_states > 0
+
+
+class TestRun:
+    def test_run_prints_stats(self, capsys):
+        code = main(
+            ["run", "Protomata", "--scale", "0.01", "--limit", "2000",
+             "--show-reports", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "states:" in out
+        assert "mean active:" in out
+
+    @pytest.mark.parametrize("engine", ["reference", "vector", "dfa"])
+    def test_engines_selectable(self, engine, capsys):
+        code = main(
+            ["run", "File Carving", "--limit", "500", "--engine", engine]
+        )
+        assert code == 0
+
+
+class TestStats:
+    def test_stats_of_exported_file(self, tmp_path, capsys):
+        out = tmp_path / "b.mnrl"
+        main(["build", "Brill", "--scale", "0.01", "--output", str(out)])
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "edges/node" in text
+        assert "compressed" in text
+
+
+class TestTable1:
+    def test_subset_table(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--scale",
+                "0.005",
+                "--limit",
+                "1000",
+                "--names",
+                "Hamming 18x3",
+                "AP PRNG 4-sided",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hamming 18x3" in out
+        assert "NA" in out  # AP PRNG compression column
+
+
+class TestGrep:
+    def test_grep_finds_pattern(self, tmp_path, capsys):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"xxx match42 yyy")
+        assert main(["grep", r"match[0-9]+", str(target)]) == 0
+        assert "match42" in capsys.readouterr().out
+
+    def test_grep_exit_code_on_no_match(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"nothing here")
+        assert main(["grep", "zzz9", str(target)]) == 1
+
+
+class TestExportSuite:
+    def test_export_and_reload(self, tmp_path, capsys):
+        code = main(
+            [
+                "export-suite",
+                str(tmp_path / "zoo"),
+                "--scale",
+                "0.004",
+                "--names",
+                "Protomata",
+            ]
+        )
+        assert code == 0
+        from repro.distribution import load_benchmark
+
+        bench = load_benchmark(tmp_path / "zoo", "Protomata")
+        assert bench.states > 0
+
+
+class TestVerify:
+    def test_verify_subset_ok(self, capsys):
+        code = main(
+            ["verify", "--scale", "0.004", "--names", "Protomata", "Hamming 18x3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("ok") == 2

@@ -1,0 +1,96 @@
+"""CRISPR benchmark tests against brute-force oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import levenshtein_matches
+from repro.benchmarks.crispr import (
+    GUIDE_LENGTH,
+    cas_off_filter,
+    cas_ot_filter,
+    generate_guides,
+)
+from repro.engines import ReferenceEngine, VectorEngine
+from repro.inputs.dna import random_dna
+
+
+def off_oracle(guide: bytes, data: bytes, mismatches: int) -> set[int]:
+    """End offsets where guide (<= mismatches) + PAM (NGG) matches."""
+    out = set()
+    l = len(guide)
+    for start in range(len(data) - l - 2):
+        window = data[start : start + l]
+        if sum(a != b for a, b in zip(window, guide)) <= mismatches:
+            pam = data[start + l : start + l + 3]
+            if pam[1:] == b"GG":
+                out.add(start + l + 2)
+    return out
+
+
+dna = st.text(alphabet="ACGT", max_size=40).map(str.encode)
+guides = st.text(alphabet="ACGT", min_size=4, max_size=8).map(str.encode)
+
+
+class TestCasOff:
+    def test_exact_target_with_pam(self):
+        guide = b"ACGTACGT"
+        automaton = cas_off_filter(guide, 0, guide_id=1)
+        data = b"TT" + guide + b"AGG" + b"TT"
+        reports = ReferenceEngine(automaton).run(data).reports
+        assert [r.offset for r in reports] == [2 + len(guide) + 2]
+        assert reports[0].code == (1, 0)
+
+    def test_requires_pam(self):
+        guide = b"ACGTACGT"
+        automaton = cas_off_filter(guide, 1)
+        assert ReferenceEngine(automaton).run(b"TT" + guide + b"ATT").reports == []
+
+    def test_mismatch_count_in_report(self):
+        guide = b"ACGTACGT"
+        automaton = cas_off_filter(guide, 2, guide_id="g")
+        mutated = b"ACGTACGA"  # one mismatch at the end
+        reports = ReferenceEngine(automaton).run(mutated + b"TGG").reports
+        assert {r.code for r in reports} == {("g", 1)}
+
+    @settings(max_examples=50, deadline=None)
+    @given(guide=guides, data=dna, mismatches=st.integers(0, 2))
+    def test_matches_bruteforce_oracle(self, guide, data, mismatches):
+        automaton = cas_off_filter(guide, mismatches)
+        got = {r.offset for r in ReferenceEngine(automaton).run(data).reports}
+        assert got == off_oracle(guide, data, mismatches)
+
+
+class TestCasOt:
+    def test_tolerates_bulge(self):
+        guide = b"ACGTACGTAC"
+        automaton = cas_ot_filter(guide, 1)
+        # one deletion in the guide region plus the PAM-ish tail
+        target = guide[:4] + guide[5:] + b"AGG"
+        assert VectorEngine(automaton).run(b"TT" + target).report_count > 0
+
+    def test_semantics_are_edit_distance(self):
+        guide = b"ACGTAC"
+        automaton = cas_ot_filter(guide, 1)
+        pattern = guide + b"AGG"
+        data = random_dna(300, seed=8)
+        got = sorted({r.offset for r in VectorEngine(automaton).run(data).reports})
+        assert got == levenshtein_matches(pattern, data, 2)
+
+    def test_ot_larger_than_off(self):
+        guide = generate_guides(1, seed=0)[0]
+        off = cas_off_filter(guide, 3)
+        ot = cas_ot_filter(guide, 2)
+        assert ot.n_states > off.n_states
+
+
+class TestGuides:
+    def test_paper_problem_size(self):
+        guides = generate_guides(seed=1)
+        assert len(guides) == 2000
+        assert all(len(g) == GUIDE_LENGTH for g in guides)
+
+    def test_guides_are_dna(self):
+        for guide in generate_guides(10, seed=2):
+            assert set(guide) <= set(b"ACGT")

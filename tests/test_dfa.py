@@ -1,0 +1,93 @@
+"""Ahead-of-time DFA compilation and minimization tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Automaton, CharSet, StartMode
+from repro.core.dfa import DFA
+from repro.engines import VectorEngine
+from repro.errors import CapacityError, EngineError
+from repro.regex import compile_regex, compile_ruleset
+
+
+def nfa_fingerprint(automaton, data):
+    return sorted(
+        {(r.offset, repr(r.code)) for r in VectorEngine(automaton).run(data).reports}
+    )
+
+
+def dfa_fingerprint(dfa, data):
+    return sorted({(r.offset, repr(r.code)) for r in dfa.run(data).reports})
+
+
+class TestConstruction:
+    def test_literal(self):
+        dfa = DFA.from_automaton(compile_regex("abc", report_code=1))
+        assert dfa_fingerprint(dfa, b"xabcabc") == [(3, "1"), (6, "1")]
+
+    def test_alphabet_compression(self):
+        dfa = DFA.from_automaton(compile_regex("ab"))
+        # distinct columns: 'a', 'b', everything else
+        assert dfa.n_symbol_classes == 3
+
+    def test_rulesets_merge_reports(self):
+        automaton, _ = compile_ruleset([(1, "ab"), (2, "b")])
+        dfa = DFA.from_automaton(automaton)
+        assert dfa_fingerprint(dfa, b"ab") == [(1, "1"), (1, "2")]
+
+    def test_counter_rejected(self):
+        a = Automaton()
+        a.add_ste("s", CharSet.from_chars("a"), start=StartMode.ALL_INPUT)
+        a.add_counter("c", 2)
+        a.add_edge("s", "c")
+        with pytest.raises(EngineError):
+            DFA.from_automaton(a)
+
+    def test_state_budget(self):
+        # a.{12}b forces exponential subset growth
+        automaton = compile_regex("a.{12}b")
+        with pytest.raises(CapacityError):
+            DFA.from_automaton(automaton, max_states=50)
+
+    def test_anchored_pattern(self):
+        dfa = DFA.from_automaton(compile_regex("^ab", report_code="r"))
+        assert dfa_fingerprint(dfa, b"abab") == [(1, "'r'")]
+
+
+class TestMinimization:
+    def test_minimize_preserves_language(self):
+        automaton, _ = compile_ruleset([(1, "cart"), (2, "card"), (3, "cargo")])
+        dfa = DFA.from_automaton(automaton)
+        minimal = dfa.minimize()
+        assert minimal.n_states <= dfa.n_states
+        data = b"a cargo of cards in a cart"
+        assert dfa_fingerprint(minimal, data) == dfa_fingerprint(dfa, data)
+
+    def test_redundant_states_collapse(self):
+        # two identical rules: subset construction tracks both reporting
+        # STEs but distinct codes keep them apart; with equal codes the
+        # minimal machine is as small as a single rule's
+        single = DFA.from_automaton(compile_regex("abc", report_code="x")).minimize()
+        automaton, _ = compile_ruleset([("x", "abc"), ("x", "abc")])
+        double = DFA.from_automaton(automaton).minimize()
+        assert double.n_states == single.n_states
+
+    def test_minimize_idempotent(self):
+        dfa = DFA.from_automaton(compile_regex("a[bc]+d")).minimize()
+        assert dfa.minimize().n_states == dfa.n_states
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    pattern=st.sampled_from(
+        ["ab", "a+b", "a[bc]d", "(?:ab|cd)+", "a{2,4}", "[^a]b", "a.?b"]
+    ),
+    data=st.binary(max_size=25).map(lambda raw: bytes(b"abcd"[x % 4] for x in raw)),
+)
+def test_dfa_equivalent_to_nfa_property(pattern, data):
+    automaton = compile_regex(pattern, report_code="r")
+    dfa = DFA.from_automaton(automaton)
+    assert dfa_fingerprint(dfa, data) == nfa_fingerprint(automaton, data)
+    minimal = dfa.minimize()
+    assert dfa_fingerprint(minimal, data) == nfa_fingerprint(automaton, data)

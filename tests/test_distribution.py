@@ -1,0 +1,85 @@
+"""Suite distribution (export/load) tests."""
+
+import json
+
+import pytest
+
+from repro.distribution import export_suite, load_benchmark, load_manifest, slugify
+from repro.engines import VectorEngine
+
+
+class TestSlugify:
+    def test_names(self):
+        assert slugify("Hamming 18x3") == "hamming-18x3"
+        assert slugify("Seq. Match 6w 6p wC") == "seq-match-6w-6p-wc"
+        assert slugify("AP PRNG 4-sided") == "ap-prng-4-sided"
+
+    def test_degenerate(self):
+        assert slugify("!!!") == "benchmark"
+
+
+class TestExportLoad:
+    NAMES = ["Hamming 18x3", "Seq. Match 6w 6p wC", "File Carving"]
+
+    @pytest.fixture(scope="class")
+    def suite_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("zoo")
+        export_suite(root, scale=0.004, seed=5, names=self.NAMES)
+        return root
+
+    def test_layout(self, suite_dir):
+        assert (suite_dir / "manifest.json").exists()
+        for name in self.NAMES:
+            d = suite_dir / slugify(name)
+            assert (d / "automaton.mnrl").exists()
+            assert (d / "input.bin").exists()
+            assert (d / "benchmark.json").exists()
+
+    def test_manifest_contents(self, suite_dir):
+        manifest = load_manifest(suite_dir)
+        assert manifest["scale"] == 0.004
+        assert [b["name"] for b in manifest["benchmarks"]] == self.NAMES
+        for row in manifest["benchmarks"]:
+            assert row["states"] > 0
+            assert row["input_bytes"] > 0
+
+    def test_roundtrip_behaviour(self, suite_dir):
+        from repro.benchmarks import build_benchmark
+
+        original = build_benchmark("Hamming 18x3", scale=0.004, seed=5)
+        loaded = load_benchmark(suite_dir, "Hamming 18x3")
+        assert loaded.input_data == original.input_data
+        assert loaded.states == original.states
+        data = original.input_data[:3000]
+        original_reports = [
+            (r.offset, repr(r.code))
+            for r in VectorEngine(original.automaton).run(data).reports
+        ]
+        loaded_reports = [
+            (r.offset, repr(r.code))
+            for r in VectorEngine(loaded.automaton).run(data).reports
+        ]
+        assert loaded_reports == original_reports
+
+    def test_counter_benchmark_roundtrips(self, suite_dir):
+        loaded = load_benchmark(suite_dir, "Seq. Match 6w 6p wC")
+        assert sum(1 for _ in loaded.automaton.counters()) > 0
+
+    def test_missing_benchmark(self, suite_dir):
+        with pytest.raises(FileNotFoundError):
+            load_benchmark(suite_dir, "Fermi")
+
+    def test_metadata_json_safe(self, suite_dir):
+        record = json.loads(
+            (suite_dir / slugify("File Carving") / "benchmark.json").read_text()
+        )
+        json.dumps(record)  # fully serialisable
+
+
+class TestExportedSuiteVerifies:
+    def test_loaded_benchmark_passes_self_check(self, tmp_path):
+        from repro.benchmarks.verify import verify_benchmark
+
+        export_suite(tmp_path, scale=0.004, seed=3, names=["ClamAV"])
+        loaded = load_benchmark(tmp_path, "ClamAV")
+        assert verify_benchmark(loaded) == []

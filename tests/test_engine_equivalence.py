@@ -1,0 +1,97 @@
+"""Property-based cross-engine equivalence.
+
+The three CPU engines implement one execution model; hypothesis generates
+random automata and random inputs and asserts identical report streams and
+active-set traces.  This is the library's central correctness invariant.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Automaton, CharSet, CounterMode, StartMode
+from repro.engines import LazyDFAEngine, ReferenceEngine, VectorEngine
+
+ALPHABET = b"abcd"
+
+
+@st.composite
+def random_automata(draw, max_states=8, with_counters=False):
+    n = draw(st.integers(1, max_states))
+    a = Automaton("random")
+    for i in range(n):
+        symbols = draw(
+            st.frozensets(st.sampled_from(list(ALPHABET)), min_size=0, max_size=4)
+        )
+        start = draw(
+            st.sampled_from(
+                [StartMode.NONE, StartMode.START_OF_DATA, StartMode.ALL_INPUT]
+            )
+        )
+        report = draw(st.booleans())
+        a.add_ste(f"s{i}", CharSet(symbols), start=start, report=report, report_code=i)
+    n_edges = draw(st.integers(0, 2 * n))
+    for _ in range(n_edges):
+        src = draw(st.integers(0, n - 1))
+        dst = draw(st.integers(0, n - 1))
+        a.add_edge(f"s{src}", f"s{dst}")
+    if with_counters:
+        n_counters = draw(st.integers(1, 2))
+        for c in range(n_counters):
+            mode = draw(st.sampled_from(list(CounterMode)))
+            target = draw(st.integers(1, 4))
+            report = draw(st.booleans())
+            a.add_counter(f"c{c}", target, mode=mode, report=report, report_code=f"c{c}")
+            feeders = draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=3))
+            for f in feeders:
+                a.add_edge(f"s{f}", f"c{c}")
+            enables = draw(st.sets(st.integers(0, n - 1), max_size=2))
+            for e in enables:
+                a.add_edge(f"c{c}", f"s{e}")
+    return a
+
+
+inputs = st.binary(max_size=40).map(
+    lambda raw: bytes(ALPHABET[b % len(ALPHABET)] for b in raw)
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(automaton=random_automata(), data=inputs)
+def test_three_engines_agree(automaton, data):
+    results = [
+        engine_cls(automaton).run(data, record_active=True)
+        for engine_cls in (ReferenceEngine, VectorEngine, LazyDFAEngine)
+    ]
+    baseline = results[0]
+    for other in results[1:]:
+        assert other.reports == baseline.reports
+        assert other.cycles == baseline.cycles
+        assert other.active_per_cycle == baseline.active_per_cycle
+
+
+@settings(max_examples=100, deadline=None)
+@given(automaton=random_automata(with_counters=True), data=inputs)
+def test_counter_engines_agree(automaton, data):
+    ref = ReferenceEngine(automaton).run(data, record_active=True)
+    vec = VectorEngine(automaton).run(data, record_active=True)
+    assert vec.reports == ref.reports
+    assert vec.active_per_cycle == ref.active_per_cycle
+
+
+@settings(max_examples=50, deadline=None)
+@given(automaton=random_automata(), data=inputs)
+def test_runs_are_deterministic(automaton, data):
+    eng = VectorEngine(automaton)
+    assert eng.run(data).reports == eng.run(data).reports
+
+
+@settings(max_examples=50, deadline=None)
+@given(automaton=random_automata(), data=inputs, split=st.integers(0, 40))
+def test_dfa_memoisation_is_input_independent(automaton, data, split):
+    """Running other inputs first must not change results (memo soundness)."""
+    split = min(split, len(data))
+    eng = LazyDFAEngine(automaton)
+    eng.run(data[split:])  # warm the memo with a different stream
+    fresh = LazyDFAEngine(automaton).run(data)
+    assert eng.run(data).reports == fresh.reports

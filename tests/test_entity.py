@@ -1,0 +1,135 @@
+"""Entity Resolution benchmark tests."""
+
+import random
+
+import pytest
+
+from repro.benchmarks.entity import (
+    build_entity_benchmark,
+    detected_pairs,
+    name_filter,
+)
+from repro.engines import VectorEngine
+from repro.inputs.names import (
+    Name,
+    build_name_stream,
+    corrupt,
+    format_record,
+    generate_names,
+)
+
+
+class TestNameGeneration:
+    def test_unique_names(self):
+        names = generate_names(200, seed=0)
+        assert len({n.full for n in names}) == 200
+
+    def test_deterministic(self):
+        assert generate_names(20, seed=1) == generate_names(20, seed=1)
+
+    def test_format_variants(self):
+        name = Name("Brandon", "Thorex")
+        assert format_record(name, 0) == "Brandon Thorex"
+        assert format_record(name, 1) == "B. Thorex"
+        assert format_record(name, 2) == "Thorex, Brandon"
+        with pytest.raises(ValueError):
+            format_record(name, 3)
+
+    def test_corrupt_changes_text(self):
+        rng = random.Random(0)
+        original = "Brandon Thorex"
+        corrupted = corrupt(original, rng, 1)
+        assert corrupted != original
+        assert abs(len(corrupted) - len(original)) <= 1
+
+
+class TestNameFilter:
+    NAME = Name("Kled", "Barun")
+
+    def test_exact_full_name(self):
+        automaton = name_filter(self.NAME, 7)
+        hits = VectorEngine(automaton).run(b"... Kled Barun ...").reports
+        assert any(e.code[0] == 7 for e in hits)
+
+    def test_typo_tolerated(self):
+        automaton = name_filter(self.NAME, 7)
+        assert VectorEngine(automaton).run(b"Kled Barin").report_count > 0  # sub
+        assert VectorEngine(automaton).run(b"Kled Brun").report_count > 0  # del
+        assert VectorEngine(automaton).run(b"Kleed Barun").report_count > 0  # ins
+
+    def test_two_typos_rejected(self):
+        automaton = name_filter(self.NAME, 7)
+        assert VectorEngine(automaton).run(b"Klid Barin zz").report_count == 0
+
+    def test_initial_variant(self):
+        automaton = name_filter(self.NAME, 7)
+        assert VectorEngine(automaton).run(b"K. Barun").report_count > 0
+
+    def test_last_first_variant(self):
+        automaton = name_filter(self.NAME, 7)
+        assert VectorEngine(automaton).run(b"Barun, Kled").report_count > 0
+
+
+class TestEntityBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return build_entity_benchmark(n_names=40, n_records=300, seed=9)
+
+    def test_three_components_per_name(self, bench):
+        # each name filter = Levenshtein mesh + two format-variant chains
+        assert len(bench.automaton.connected_components()) == 3 * 40
+
+    def test_duplicates_planted(self, bench):
+        assert len(bench.duplicates) > 10
+
+    def test_recall_on_noisy_duplicates(self, bench):
+        result = VectorEngine(bench.automaton).run(bench.stream)
+        detected = detected_pairs(bench, result.reports)
+        truth = set(bench.duplicates)
+        recall = len(truth & detected) / len(truth)
+        # full-format duplicates (even with one typo) and clean variant
+        # records must be found; corrupted variant records can be missed
+        assert recall > 0.6
+
+    def test_uncorrupted_full_records_all_found(self):
+        names = generate_names(15, seed=3)
+        stream, duplicates = build_name_stream(
+            names, 120, seed=4, duplicate_fraction=0.3, error_fraction=0.0
+        )
+        bench = build_entity_benchmark(n_names=15, n_records=1, seed=3)
+        # rebuild with the clean stream
+        result = VectorEngine(bench.automaton).run(stream)
+        hit_names = {
+            e.code[0] if isinstance(e.code, tuple) else e.code
+            for e in result.reports
+        }
+        assert {ni for _, ni in duplicates} <= hit_names
+
+
+class TestResolutionKernel:
+    """The full deduplication kernel: clustering + quality metrics."""
+
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return build_entity_benchmark(n_names=30, n_records=400, seed=13)
+
+    def test_clusters_are_sorted_unique(self, bench):
+        from repro.benchmarks.entity import resolve_duplicates
+
+        clusters = resolve_duplicates(bench)
+        for records in clusters.values():
+            assert records == sorted(set(records))
+
+    def test_quality_reasonable(self, bench):
+        from repro.benchmarks.entity import resolution_quality, resolve_duplicates
+
+        clusters = resolve_duplicates(bench)
+        precision, recall = resolution_quality(bench, clusters)
+        assert recall > 0.6  # finds most planted duplicates
+        assert precision > 0.5  # without drowning in false matches
+
+    def test_empty_clusters_edge_case(self, bench):
+        from repro.benchmarks.entity import resolution_quality
+
+        precision, recall = resolution_quality(bench, {})
+        assert (precision, recall) == (1.0, 0.0)

@@ -1,0 +1,45 @@
+"""Example scripts: importable, and the fast ones run end to end."""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["quickstart.py", "virus_scan.py", "file_recovery.py"]
+
+
+class TestExampleHygiene:
+    def test_expected_examples_present(self):
+        assert set(FAST_EXAMPLES) <= set(ALL_EXAMPLES)
+        assert len(ALL_EXAMPLES) >= 7
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_defines_main(self, name):
+        spec = importlib.util.spec_from_file_location(
+            name.removesuffix(".py"), EXAMPLES_DIR / name
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(getattr(module, "main", None))
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_has_run_instructions(self, name):
+        text = (EXAMPLES_DIR / name).read_text()
+        assert "Run:" in text  # every example documents how to run it
+
+
+class TestFastExamplesExecute:
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_runs_cleanly(self, name):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert completed.returncode == 0, completed.stderr[-800:]
+        assert completed.stdout.strip()

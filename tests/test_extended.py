@@ -1,0 +1,128 @@
+"""Extended automata: counter reset ports and run-constraint builders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Automaton, CharSet, CounterMode, StartMode
+from repro.core.extended import exact_run_automaton, min_run_automaton
+from repro.engines import ReferenceEngine, VectorEngine
+from repro.errors import AutomatonError
+from repro.transforms import merge_common_prefixes
+
+ENGINES = [ReferenceEngine, VectorEngine]
+
+C = CharSet.from_chars("a")
+
+
+def run_positions(data: bytes, n: int, mode: str) -> list[int]:
+    """Oracle: offsets where the consecutive-'a' run length is exactly n
+    ('exact': only the n-th position) or at least n ('min')."""
+    out = []
+    run = 0
+    for offset, symbol in enumerate(data):
+        run = run + 1 if symbol == ord("a") else 0
+        if mode == "exact" and run == n:
+            out.append(offset)
+        if mode == "min" and run >= n:
+            out.append(offset)
+    return out
+
+
+class TestResetPort:
+    def make(self):
+        a = Automaton()
+        a.add_ste("s", C, start=StartMode.ALL_INPUT)
+        a.add_ste("r", ~C, start=StartMode.ALL_INPUT)
+        a.add_counter("c", 3, mode=CounterMode.STOP, report=True, report_code="x")
+        a.add_edge("s", "c")
+        a.add_reset_edge("r", "c")
+        return a
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_reset_clears_partial_count(self, engine_cls):
+        engine = engine_cls(self.make())
+        # two a's, break, two a's: never reaches 3
+        assert engine.count_reports(b"aabaa") == 0
+        # three consecutive: fires at the third
+        assert [r.offset for r in engine.run(b"aaab").reports] == [2]
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_reset_unsticks_stop_mode(self, engine_cls):
+        engine = engine_cls(self.make())
+        # STOP counters go inert after firing; a reset re-arms them
+        offsets = [r.offset for r in engine.run(b"aaaab aaa").reports]
+        assert offsets == [2, 8]
+
+    def test_reset_edge_validation(self):
+        a = Automaton()
+        a.add_ste("s", C)
+        a.add_ste("t", C)
+        with pytest.raises(AutomatonError):
+            a.add_reset_edge("s", "t")  # target not a counter
+        with pytest.raises(AutomatonError):
+            a.add_reset_edge("missing", "t")
+
+    def test_reset_edges_survive_merge_and_clone(self):
+        a = self.make()
+        b = a.clone()
+        assert list(b.reset_edges()) == [("r", "c")]
+        u = Automaton.union([a])
+        assert list(u.reset_edges()) == [("g0.r", "g0.c")]
+
+    def test_reset_edges_survive_prefix_merge(self):
+        merged, _ = merge_common_prefixes(self.make())
+        assert list(merged.reset_edges()) == [("r", "c")]
+
+    def test_remove_element_cleans_reset_edges(self):
+        a = self.make()
+        a.remove_element("r")
+        assert list(a.reset_edges()) == []
+        a2 = self.make()
+        a2.remove_element("c")
+        assert list(a2.reset_edges()) == []
+
+
+class TestRunBuilders:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_exact_run(self, engine_cls, n):
+        engine = engine_cls(exact_run_automaton(C, n))
+        data = b"aa baaaab aaaaaa b a"
+        got = [r.offset for r in engine.run(data).reports]
+        assert got == run_positions(data, n, "exact")
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_min_run(self, engine_cls, n):
+        engine = engine_cls(min_run_automaton(C, n))
+        data = b"aaab aaaaa ba"
+        got = [r.offset for r in engine.run(data).reports]
+        assert got == run_positions(data, n, "min")
+
+    def test_constant_size(self):
+        assert exact_run_automaton(C, 5).n_states == 3
+        assert exact_run_automaton(C, 500).n_states == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_run_automaton(C, 0)
+        with pytest.raises(ValueError):
+            exact_run_automaton(CharSet.all_bytes(), 3)
+        with pytest.raises(ValueError):
+            exact_run_automaton(CharSet.none(), 3)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        data=st.binary(max_size=40).map(lambda raw: bytes(b"ab"[x % 2] for x in raw)),
+        n=st.integers(1, 6),
+        minimum=st.booleans(),
+    )
+    def test_run_builders_match_oracle_property(self, data, n, minimum):
+        builder = min_run_automaton if minimum else exact_run_automaton
+        automaton = builder(C, n)
+        got_ref = [r.offset for r in ReferenceEngine(automaton).run(data).reports]
+        got_vec = [r.offset for r in VectorEngine(automaton).run(data).reports]
+        expected = run_positions(data, n, "min" if minimum else "exact")
+        assert got_ref == expected
+        assert got_vec == expected

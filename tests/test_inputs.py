@@ -1,0 +1,122 @@
+"""Direct tests for the input stimulus generators."""
+
+import random
+
+import pytest
+
+from repro.inputs.corpus import generate_tagged_corpus
+from repro.inputs.diskimage import (
+    DiskImage,
+    build_disk_image,
+    make_jpeg_like,
+    make_mp4_file,
+    make_mpeg2_stream,
+    make_png_like,
+    make_text_file,
+    make_zip_file,
+)
+from repro.inputs.dna import DNA_ALPHABET, plant_pattern, random_dna, random_dna_patterns
+from repro.inputs.pcap import SUSPICIOUS_TOKENS, synthetic_pcap
+
+
+class TestDNA:
+    def test_alphabet(self):
+        data = random_dna(500, seed=0)
+        assert set(data) <= set(DNA_ALPHABET)
+        assert len(data) == 500
+
+    def test_deterministic(self):
+        assert random_dna(100, seed=1) == random_dna(100, seed=1)
+        assert random_dna(100, seed=1) != random_dna(100, seed=2)
+
+    def test_patterns(self):
+        patterns = random_dna_patterns(5, 18, seed=3)
+        assert len(patterns) == 5
+        assert all(len(p) == 18 for p in patterns)
+        assert len(set(patterns)) == 5
+
+    def test_plant_exact(self):
+        stream = random_dna(100, seed=0)
+        planted = plant_pattern(stream, b"ACGTACGT", 10)
+        assert planted[10:18] == b"ACGTACGT"
+        assert planted[:10] == stream[:10]
+
+    def test_plant_with_mutations(self):
+        stream = random_dna(100, seed=0)
+        pattern = b"AAAAAAAAAA"
+        planted = plant_pattern(stream, pattern, 10, mutations=3, seed=1)
+        window = planted[10:20]
+        mismatches = sum(1 for a, b in zip(window, pattern) if a != b)
+        assert mismatches == 3
+        assert set(window) <= set(DNA_ALPHABET)
+
+    def test_plant_bounds(self):
+        with pytest.raises(ValueError):
+            plant_pattern(b"ACGT", b"AAAAA", 0)
+        with pytest.raises(ValueError):
+            plant_pattern(b"ACGT", b"AA", -1)
+
+
+class TestPcap:
+    def test_http_structure(self):
+        data = synthetic_pcap(100, seed=0)
+        assert b"HTTP/1.1" in data
+        assert b"Host: " in data
+        assert b"\r\n\r\n" in data
+
+    def test_suspicious_tokens_planted(self):
+        data = synthetic_pcap(2000, seed=1)
+        assert any(token in data for token in SUSPICIOUS_TOKENS)
+
+    def test_deterministic(self):
+        assert synthetic_pcap(20, seed=4) == synthetic_pcap(20, seed=4)
+
+
+class TestDiskImage:
+    def test_file_makers_have_magics(self):
+        rng = random.Random(0)
+        assert make_png_like(rng).startswith(b"\x89PNG")
+        assert make_jpeg_like(rng).startswith(b"\xff\xd8\xff")
+        assert make_jpeg_like(rng).endswith(b"\xff\xd9")
+        assert make_zip_file(rng).startswith(b"PK\x03\x04")
+        assert b"PK\x05\x06" in make_zip_file(rng)
+        assert make_mpeg2_stream(rng).startswith(b"\x00\x00\x01\xba")
+        assert make_mp4_file(rng)[4:8] == b"ftyp"
+        assert make_text_file(rng, 50).isascii()
+
+    def test_ground_truth_offsets(self):
+        image = build_disk_image(["png", "zip", "text"], seed=2)
+        assert isinstance(image, DiskImage)
+        for entry in image.entries:
+            blob = image.data[entry.offset : entry.offset + entry.length]
+            assert len(blob) == entry.length
+            if entry.kind == "png":
+                assert blob.startswith(b"\x89PNG")
+            if entry.kind == "zip":
+                assert blob.startswith(b"PK\x03\x04")
+
+    def test_inserts_placed_and_tracked(self):
+        image = build_disk_image(
+            ["text", "text"], seed=3, inserts=[("virus:X", b"\xde\xad\xbe\xef")]
+        )
+        entry = next(e for e in image.entries if e.kind == "virus:X")
+        assert image.data[entry.offset : entry.offset + 4] == b"\xde\xad\xbe\xef"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_disk_image(["floppy"], seed=0)
+
+
+class TestCorpus:
+    def test_token_pairs(self):
+        corpus = generate_tagged_corpus(50, seed=0)
+        assert len(corpus) == 100
+
+    def test_tag_statistics_nonuniform(self):
+        """The bigram model must produce skewed tag contexts."""
+        corpus = generate_tagged_corpus(5000, seed=1)
+        tags = corpus[1::2]
+        from collections import Counter
+
+        counts = Counter(tags)
+        assert max(counts.values()) > 2 * min(counts.values())

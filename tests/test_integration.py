@@ -1,0 +1,97 @@
+"""Cross-module integration tests: full pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AhoCorasick
+from repro.benchmarks import build_benchmark
+from repro.engines import LazyDFAEngine, ReferenceEngine, VectorEngine
+from repro.io import from_anml, mnrl_dumps, mnrl_loads, to_anml
+from repro.regex import compile_ruleset
+from repro.transforms import merge_common_prefixes
+
+
+def report_fingerprint(automaton, data, engine_cls=VectorEngine):
+    return [
+        (r.offset, str(r.code))
+        for r in engine_cls(automaton).run(data).reports
+    ]
+
+
+class TestSerializationOfBenchmarks:
+    @pytest.mark.parametrize(
+        "name", ["Protomata", "Hamming 18x3", "Seq. Match 6w 6p wC", "File Carving"]
+    )
+    def test_mnrl_roundtrip_preserves_benchmark_behaviour(self, name):
+        bench = build_benchmark(name, scale=0.004, seed=5)
+        data = bench.input_data[:3000]
+        restored = mnrl_loads(mnrl_dumps(bench.automaton))
+        assert report_fingerprint(restored, data) == report_fingerprint(
+            bench.automaton, data
+        )
+
+    def test_anml_roundtrip_of_strided_automaton(self):
+        bench = build_benchmark("File Carving", scale=1.0, seed=0)
+        data = bench.input_data[:3000]
+        restored = from_anml(to_anml(bench.automaton))
+        assert report_fingerprint(restored, data) == report_fingerprint(
+            bench.automaton, data
+        )
+
+
+class TestOptimizationOnBenchmarks:
+    @pytest.mark.parametrize("name", ["ClamAV", "Brill", "CRISPR CasOffinder"])
+    def test_prefix_merge_preserves_benchmark_reports(self, name):
+        bench = build_benchmark(name, scale=0.004, seed=2)
+        data = bench.input_data[:3000]
+        merged, stats = merge_common_prefixes(bench.automaton)
+        assert stats.states_after <= stats.states_before
+        assert report_fingerprint(merged, data) == report_fingerprint(
+            bench.automaton, data
+        )
+
+
+class TestEngineAgreementOnBenchmarks:
+    @pytest.mark.parametrize(
+        "name", ["Snort", "Protomata", "YARA", "Entity Resolution"]
+    )
+    def test_reference_and_vector_agree_on_real_benchmarks(self, name):
+        bench = build_benchmark(name, scale=0.003, seed=1)
+        data = bench.input_data[:1200]
+        assert report_fingerprint(
+            bench.automaton, data, ReferenceEngine
+        ) == report_fingerprint(bench.automaton, data, VectorEngine)
+
+    def test_dfa_agrees_on_literal_ruleset(self):
+        patterns = [(i, w) for i, w in enumerate(["alpha", "beta", "gamma", "alp"])]
+        automaton, _ = compile_ruleset(patterns)
+        data = b"the alpha and the gamma met beta alp"
+        assert report_fingerprint(
+            automaton, data, LazyDFAEngine
+        ) == report_fingerprint(automaton, data, VectorEngine)
+
+
+class TestRegexPipelineVsAhoCorasick:
+    def test_literal_ruleset_matches_aho_corasick(self):
+        words = [b"cat", b"dog", b"catalog", b"at"]
+        automaton, _ = compile_ruleset(
+            [(i, w.decode()) for i, w in enumerate(words)]
+        )
+        data = b"a catalog of cats and dogs"
+        ac_hits = sorted(AhoCorasick(words).search(data))
+        engine_hits = sorted(
+            (r.offset, r.code)
+            for r in VectorEngine(automaton).run(data).reports
+        )
+        assert engine_hits == ac_hits
+
+
+class TestDeterministicSuite:
+    def test_same_seed_same_reports(self):
+        a = build_benchmark("YARA", scale=0.004, seed=11)
+        b = build_benchmark("YARA", scale=0.004, seed=11)
+        data = a.input_data[:2000]
+        assert a.input_data == b.input_data
+        assert report_fingerprint(a.automaton, data) == report_fingerprint(
+            b.automaton, data
+        )

@@ -1,0 +1,218 @@
+"""MNRL/ANML serialization round-trip tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Automaton, CharSet, CounterMode, StartMode
+from repro.engines import ReferenceEngine
+from repro.errors import ReproError
+from repro.io import from_anml, from_mnrl, mnrl_dumps, mnrl_loads, to_anml, to_mnrl
+from repro.regex import compile_ruleset
+
+
+def sample_automaton():
+    automaton, _ = compile_ruleset([(1, "ab+c"), (2, "[x-z]{2}")])
+    return automaton
+
+
+def counter_automaton():
+    a = Automaton("counted")
+    a.add_ste("s", CharSet.from_chars("a"), start=StartMode.ALL_INPUT)
+    a.add_counter("c", 3, mode=CounterMode.ROLLOVER, report=True, report_code=9)
+    a.add_edge("s", "c")
+    a.add_ste("t", CharSet.from_chars("b"), report=True, report_code=2)
+    a.add_edge("c", "t")
+    return a
+
+
+def reports(automaton, data):
+    return [
+        (r.offset, str(r.code))
+        for r in ReferenceEngine(automaton).run(data).reports
+    ]
+
+
+DATA = b"abbcxyzaaabaaab"
+
+
+class TestMNRL:
+    def test_roundtrip_structure(self):
+        original = sample_automaton()
+        restored = from_mnrl(to_mnrl(original))
+        assert restored.n_states == original.n_states
+        assert restored.n_edges == original.n_edges
+        assert sorted(restored.idents()) == sorted(original.idents())
+
+    def test_roundtrip_semantics(self):
+        original = sample_automaton()
+        restored = mnrl_loads(mnrl_dumps(original))
+        assert reports(restored, DATA) == reports(original, DATA)
+
+    def test_counter_roundtrip(self):
+        original = counter_automaton()
+        restored = from_mnrl(to_mnrl(original))
+        counter = restored["c"]
+        assert counter.target == 3
+        assert counter.mode is CounterMode.ROLLOVER
+        assert reports(restored, DATA) == reports(original, DATA)
+
+    def test_document_shape(self):
+        doc = to_mnrl(sample_automaton())
+        assert set(doc) == {"id", "nodes"}
+        node = doc["nodes"][0]
+        assert node["type"] == "hState"
+        assert "symbolSet" in node["attributes"]
+        assert node["outputDefs"][0]["portId"] == "o"
+
+    def test_bad_node_type_rejected(self):
+        with pytest.raises(ReproError):
+            from_mnrl({"id": "x", "nodes": [{"id": "n", "type": "pdState"}]})
+
+    def test_bad_symbol_set_rejected(self):
+        doc = {
+            "id": "x",
+            "nodes": [
+                {
+                    "id": "n",
+                    "type": "hState",
+                    "attributes": {"symbolSet": "abc"},
+                }
+            ],
+        }
+        with pytest.raises(ReproError):
+            from_mnrl(doc)
+
+
+class TestANML:
+    def test_roundtrip_structure(self):
+        original = sample_automaton()
+        restored = from_anml(to_anml(original))
+        assert restored.n_states == original.n_states
+        assert restored.n_edges == original.n_edges
+
+    def test_roundtrip_semantics(self):
+        original = sample_automaton()
+        restored = from_anml(to_anml(original))
+        assert reports(restored, DATA) == reports(original, DATA)
+
+    def test_counter_roundtrip(self):
+        original = counter_automaton()
+        restored = from_anml(to_anml(original))
+        assert restored["c"].mode is CounterMode.ROLLOVER
+        assert restored["c"].report_code == 9
+        assert reports(restored, DATA) == reports(original, DATA)
+
+    def test_start_modes_roundtrip(self):
+        a = Automaton()
+        a.add_ste("anch", CharSet.from_chars("a"), start=StartMode.START_OF_DATA)
+        a.add_ste("all", CharSet.from_chars("b"), start=StartMode.ALL_INPUT)
+        a.add_ste("mid", CharSet.from_chars("c"))
+        a.add_edge("anch", "mid")
+        restored = from_anml(to_anml(a))
+        assert restored["anch"].start is StartMode.START_OF_DATA
+        assert restored["all"].start is StartMode.ALL_INPUT
+        assert restored["mid"].start is StartMode.NONE
+
+    def test_xml_is_anml_shaped(self):
+        text = to_anml(sample_automaton())
+        assert text.startswith("<anml")
+        assert "state-transition-element" in text
+        assert "activate-on-match" in text
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ReproError):
+            from_anml("<anml version='1.0'></anml>")
+        with pytest.raises(ReproError):
+            from_anml(
+                "<anml><automata-network id='x'><mystery id='m'/>"
+                "</automata-network></anml>"
+            )
+
+
+charset_strategy = st.frozensets(st.integers(0, 255), min_size=1, max_size=6).map(
+    CharSet
+)
+
+
+@st.composite
+def automata(draw):
+    n = draw(st.integers(1, 6))
+    a = Automaton("prop")
+    for i in range(n):
+        a.add_ste(
+            f"s{i}",
+            draw(charset_strategy),
+            start=draw(st.sampled_from(list(StartMode))),
+            report=draw(st.booleans()),
+            report_code=draw(st.integers(0, 9)),
+        )
+    for _ in range(draw(st.integers(0, 8))):
+        a.add_edge(
+            f"s{draw(st.integers(0, n - 1))}", f"s{draw(st.integers(0, n - 1))}"
+        )
+    return a
+
+
+@settings(max_examples=80, deadline=None)
+@given(automaton=automata(), data=st.binary(max_size=20))
+def test_mnrl_roundtrip_property(automaton, data):
+    restored = mnrl_loads(mnrl_dumps(automaton))
+    assert reports(restored, data) == reports(automaton, data)
+
+
+@settings(max_examples=80, deadline=None)
+@given(automaton=automata(), data=st.binary(max_size=20))
+def test_anml_roundtrip_property(automaton, data):
+    restored = from_anml(to_anml(automaton))
+    assert reports(restored, data) == reports(automaton, data)
+
+
+class TestResetEdgeSerialization:
+    @staticmethod
+    def run_automaton():
+        from repro.core.extended import exact_run_automaton
+
+        return exact_run_automaton(CharSet.from_chars("a"), 3, report_code="r")
+
+    def test_mnrl_roundtrip_with_reset(self):
+        original = self.run_automaton()
+        restored = mnrl_loads(mnrl_dumps(original))
+        assert list(restored.reset_edges()) == [("B", "C")]
+        assert reports(restored, b"aabaaa") == reports(original, b"aabaaa")
+
+    def test_anml_roundtrip_with_reset(self):
+        original = self.run_automaton()
+        restored = from_anml(to_anml(original))
+        assert list(restored.reset_edges()) == [("B", "C")]
+        assert reports(restored, b"aaaabaaa") == reports(original, b"aaaabaaa")
+
+
+class TestDotExport:
+    def test_renders_states_and_edges(self):
+        from repro.io import to_dot
+        from repro.regex import compile_regex
+
+        dot = to_dot(compile_regex("a[bc]d", report_code=1))
+        assert dot.startswith("digraph")
+        assert "shape=box" in dot
+        assert "peripheries=2" in dot  # reporting state
+        assert "->" in dot
+
+    def test_counter_and_reset_rendering(self):
+        from repro.core.extended import exact_run_automaton
+        from repro.io import to_dot
+
+        dot = to_dot(exact_run_automaton(CharSet.from_chars("a"), 4))
+        assert "shape=diamond" in dot
+        assert 'label="rst"' in dot
+        assert "count>=4" in dot
+
+    def test_size_guard(self):
+        from repro.io import to_dot
+        from repro.regex import compile_regex
+
+        automaton = compile_regex("a{100}")
+        with pytest.raises(ValueError):
+            to_dot(automaton, max_states=50)
+        assert to_dot(automaton, max_states=200)

@@ -1,0 +1,119 @@
+"""Mesh automata vs the independent CPU baselines (semantic oracles)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import MyersMatcher, hamming_matches, levenshtein_matches
+from repro.benchmarks.mesh import hamming_automaton, levenshtein_automaton
+from repro.engines import ReferenceEngine, VectorEngine
+from repro.inputs.dna import plant_pattern, random_dna
+
+
+def offsets(automaton, data, engine_cls=ReferenceEngine):
+    return sorted({r.offset for r in engine_cls(automaton).run(data).reports})
+
+
+dna = st.text(alphabet="ACGT", max_size=25).map(str.encode)
+patterns = st.text(alphabet="ACGT", min_size=1, max_size=8).map(str.encode)
+
+
+class TestHammingAutomaton:
+    def test_exact_match_d0(self):
+        a = hamming_automaton(b"ACGT", 0)
+        assert offsets(a, b"TTACGTTT") == [5]
+
+    def test_one_mismatch(self):
+        a = hamming_automaton(b"ACGT", 1)
+        assert offsets(a, b"TTACCTTT") == [5]
+
+    def test_too_many_mismatches(self):
+        a = hamming_automaton(b"ACGT", 1)
+        assert offsets(a, b"TTAGCTTT") == []
+
+    def test_report_carries_score(self):
+        a = hamming_automaton(b"AC", 1, pattern_id=7)
+        reports = ReferenceEngine(a).run(b"AC").reports
+        assert {r.code for r in reports} == {(7, 0)}
+        reports = ReferenceEngine(a).run(b"AG").reports
+        assert {r.code for r in reports} == {(7, 1)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hamming_automaton(b"", 1)
+        with pytest.raises(ValueError):
+            hamming_automaton(b"AC", -1)
+
+    def test_state_count_shape(self):
+        # ~2*l*(d+1) states, linear in l, linear in d.
+        small = hamming_automaton(b"A" * 10, 2).n_states
+        longer = hamming_automaton(b"A" * 20, 2).n_states
+        assert 1.8 < longer / small < 2.2
+
+    @settings(max_examples=80, deadline=None)
+    @given(pattern=patterns, data=dna, d=st.integers(0, 3))
+    def test_matches_sliding_window_oracle(self, pattern, data, d):
+        automaton = hamming_automaton(pattern, d)
+        assert offsets(automaton, data) == hamming_matches(pattern, data, d)
+
+    def test_planted_pattern_found(self):
+        stream = random_dna(300, seed=5)
+        pattern = b"ACGTACGTACGTACGTAC"
+        stream = plant_pattern(stream, pattern, 100, mutations=3, seed=9)
+        automaton = hamming_automaton(pattern, 3)
+        assert 100 + len(pattern) - 1 in offsets(automaton, stream)
+
+
+class TestLevenshteinAutomaton:
+    def test_exact_match(self):
+        a = levenshtein_automaton(b"ACGT", 0)
+        assert offsets(a, b"TTACGTTT") == [5]
+
+    def test_substitution(self):
+        a = levenshtein_automaton(b"ACGT", 1)
+        assert 5 in offsets(a, b"TTACCTTT")
+
+    def test_insertion(self):
+        # pattern ACGT, stream contains ACGGT (one inserted G)
+        a = levenshtein_automaton(b"ACGT", 1)
+        assert 6 in offsets(a, b"TTACGGTTT")
+
+    def test_deletion(self):
+        # stream contains AGT (C deleted)
+        a = levenshtein_automaton(b"ACGT", 1)
+        assert 4 in offsets(a, b"TTAGTTT")
+
+    def test_distance_exceeded(self):
+        a = levenshtein_automaton(b"AAAA", 1)
+        assert offsets(a, b"CCCCCCC") == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            levenshtein_automaton(b"AC", 2)  # needs l > d
+        with pytest.raises(ValueError):
+            levenshtein_automaton(b"", 0)
+
+    def test_edges_denser_than_hamming(self):
+        h = hamming_automaton(b"ACGTACGTAC", 3)
+        l = levenshtein_automaton(b"ACGTACGTAC", 3)
+        h_ratio = h.n_edges / h.n_states
+        l_ratio = l.n_edges / l.n_states
+        assert l_ratio > 1.5 * h_ratio  # Table I: 4-11 vs 1.7-1.9
+
+    @settings(max_examples=80, deadline=None)
+    @given(pattern=patterns, data=dna, d=st.integers(0, 3))
+    def test_matches_sellers_oracle(self, pattern, data, d):
+        if len(pattern) <= d:
+            return
+        automaton = levenshtein_automaton(pattern, d)
+        assert offsets(automaton, data) == levenshtein_matches(pattern, data, d)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pattern=patterns, data=dna, d=st.integers(0, 2))
+    def test_matches_myers_oracle_via_vector_engine(self, pattern, data, d):
+        if len(pattern) <= d:
+            return
+        automaton = levenshtein_automaton(pattern, d)
+        assert offsets(automaton, data, VectorEngine) == MyersMatcher(pattern, d).search(
+            data
+        )

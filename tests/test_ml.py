@@ -1,0 +1,157 @@
+"""Tests for the ML substrate: dataset, CART, forest, native inference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FlatTree, NativeForest
+from repro.ml import DecisionTree, RandomForest, make_digits, select_features
+
+
+@pytest.fixture(scope="module")
+def digits():
+    return make_digits(n_train=600, n_test=200, seed=42)
+
+
+@pytest.fixture(scope="module")
+def small_forest(digits):
+    forest = RandomForest(n_trees=5, max_leaves=40, seed=7)
+    forest.fit(digits.train_x, digits.train_y)
+    return forest
+
+
+class TestDataset:
+    def test_shapes_and_dtype(self, digits):
+        assert digits.train_x.shape == (600, 784)
+        assert digits.train_x.dtype == np.uint8
+        assert digits.n_classes == 10
+
+    def test_balanced_classes(self, digits):
+        counts = np.bincount(digits.train_y)
+        assert counts.min() >= 55 and counts.max() <= 65
+
+    def test_deterministic_by_seed(self):
+        a = make_digits(n_train=50, n_test=10, seed=9)
+        b = make_digits(n_train=50, n_test=10, seed=9)
+        assert np.array_equal(a.train_x, b.train_x)
+
+    def test_different_seeds_differ(self):
+        a = make_digits(n_train=50, n_test=10, seed=1)
+        b = make_digits(n_train=50, n_test=10, seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_digits_are_distinguishable(self, digits):
+        # Mean images of distinct digits must differ substantially.
+        mean0 = digits.train_x[digits.train_y == 0].mean(axis=0)
+        mean1 = digits.train_x[digits.train_y == 1].mean(axis=0)
+        assert np.abs(mean0 - mean1).mean() > 10
+
+
+class TestFeatureSelection:
+    def test_returns_sorted_unique(self, digits):
+        top = select_features(digits.train_x, digits.train_y, 100)
+        assert len(top) == 100
+        assert np.array_equal(top, np.unique(top))
+
+    def test_k_too_large_rejected(self, digits):
+        with pytest.raises(ValueError):
+            select_features(digits.train_x, digits.train_y, 10_000)
+
+    def test_more_features_capture_more_signal(self, digits):
+        """Accuracy should not degrade when adding selected features."""
+        small = select_features(digits.train_x, digits.train_y, 30)
+        large = select_features(digits.train_x, digits.train_y, 200)
+        accs = {}
+        for name, feats in (("small", small), ("large", large)):
+            forest = RandomForest(n_trees=5, max_leaves=50, seed=3)
+            forest.fit(digits.train_x[:, feats], digits.train_y)
+            accs[name] = forest.accuracy(digits.test_x[:, feats], digits.test_y)
+        assert accs["large"] >= accs["small"] - 0.02
+
+
+class TestDecisionTree:
+    def test_fits_simple_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 256, size=(200, 4)).astype(np.uint8)
+        y = (x[:, 2] > 127).astype(np.int64)
+        tree = DecisionTree(max_leaves=4).fit(x, y)
+        assert (tree.predict(x) == y).mean() == 1.0
+
+    def test_respects_max_leaves(self, digits):
+        tree = DecisionTree(max_leaves=10).fit(digits.train_x, digits.train_y)
+        assert 2 <= tree.leaf_count() <= 10
+
+    def test_max_leaves_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_leaves=1).fit(
+                np.zeros((4, 2), dtype=np.uint8), np.array([0, 1, 0, 1])
+            )
+
+    def test_requires_uint8(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+
+    def test_more_leaves_fit_better(self, digits):
+        small = DecisionTree(max_leaves=8, seed=1).fit(digits.train_x, digits.train_y)
+        large = DecisionTree(max_leaves=120, seed=1).fit(digits.train_x, digits.train_y)
+        acc_small = (small.predict(digits.train_x) == digits.train_y).mean()
+        acc_large = (large.predict(digits.train_x) == digits.train_y).mean()
+        assert acc_large > acc_small
+
+    def test_paths_partition_feature_space(self, digits):
+        """Every sample follows exactly one root-to-leaf path."""
+        tree = DecisionTree(max_leaves=20, seed=2).fit(digits.train_x, digits.train_y)
+        paths = tree.paths()
+        assert len(paths) == tree.leaf_count()
+        for sample in digits.test_x[:50]:
+            matching = [
+                p
+                for p in paths
+                if all(lo <= sample[f] <= hi for f, (lo, hi) in p.bounds)
+            ]
+            assert len(matching) == 1
+            assert matching[0].label == tree.predict_one(sample)
+
+    def test_pure_node_not_split(self):
+        x = np.zeros((10, 3), dtype=np.uint8)
+        y = np.zeros(10, dtype=np.int64)
+        tree = DecisionTree(max_leaves=8).fit(x, y)
+        assert tree.leaf_count() == 1
+
+
+class TestRandomForest:
+    def test_accuracy_reasonable(self, digits, small_forest):
+        acc = small_forest.accuracy(digits.test_x, digits.test_y)
+        assert acc > 0.55  # 10-class problem; chance is 0.1
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(np.zeros((1, 4), dtype=np.uint8))
+
+    def test_all_paths_enumerates_every_leaf(self, small_forest):
+        assert len(small_forest.all_paths()) == small_forest.total_leaves()
+
+    def test_forest_beats_single_tree(self, digits):
+        tree = DecisionTree(max_leaves=40, seed=7).fit(digits.train_x, digits.train_y)
+        tree_acc = (tree.predict(digits.test_x) == digits.test_y).mean()
+        forest = RandomForest(n_trees=9, max_leaves=40, seed=7)
+        forest.fit(digits.train_x, digits.train_y)
+        forest_acc = forest.accuracy(digits.test_x, digits.test_y)
+        assert forest_acc >= tree_acc - 0.02
+
+
+class TestNativeForest:
+    def test_flat_tree_matches_recursive(self, digits, small_forest):
+        tree = small_forest.trees[0]
+        flat = FlatTree.from_tree(tree)
+        assert np.array_equal(flat.predict(digits.test_x), tree.predict(digits.test_x))
+
+    def test_native_forest_matches_python(self, digits, small_forest):
+        native = NativeForest(small_forest)
+        assert np.array_equal(
+            native.predict(digits.test_x), small_forest.predict(digits.test_x)
+        )
+
+    def test_parallel_matches_serial_small_batch(self, digits, small_forest):
+        native = NativeForest(small_forest)
+        x = digits.test_x[:8]
+        assert np.array_equal(native.predict_parallel(x, 4), native.predict(x))

@@ -1,0 +1,108 @@
+"""Tests for the edge-labelled NFA and homogenisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CharSet, NFA, StartMode
+from repro.engines import ReferenceEngine
+from repro.errors import AutomatonError
+
+
+def simple_nfa(anchored=False):
+    """NFA accepting 'ab' (anywhere unless anchored)."""
+    nfa = NFA()
+    nfa.add_state(0, start=anchored, start_all=not anchored)
+    nfa.add_state(1)
+    nfa.add_state(2, accept=True, report_code="hit")
+    nfa.add_transition(0, CharSet.from_chars("a"), 1)
+    nfa.add_transition(1, CharSet.from_chars("b"), 2)
+    return nfa
+
+
+class TestNFARun:
+    def test_unanchored(self):
+        assert simple_nfa().run(b"xabxab") == [(2, "hit"), (5, "hit")]
+
+    def test_anchored(self):
+        assert simple_nfa(anchored=True).run(b"abab") == [(1, "hit")]
+        assert simple_nfa(anchored=True).run(b"xab") == []
+
+    def test_empty_charset_transition_ignored(self):
+        nfa = NFA()
+        nfa.add_state(0, start=True)
+        nfa.add_state(1, accept=True)
+        nfa.add_transition(0, CharSet.none(), 1)
+        assert nfa.n_transitions == 0
+
+    def test_transition_endpoint_validation(self):
+        nfa = NFA()
+        nfa.add_state(0)
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(0, CharSet.from_chars("a"), 99)
+
+    def test_counts(self):
+        nfa = simple_nfa()
+        assert nfa.n_states == 3
+        assert nfa.n_transitions == 2
+
+
+class TestHomogenisation:
+    def test_equivalent_reports(self):
+        nfa = simple_nfa()
+        automaton = nfa.to_homogeneous()
+        engine = ReferenceEngine(automaton)
+        data = b"xabxxabb"
+        nfa_offsets = sorted({offset for offset, _ in nfa.run(data)})
+        homog_offsets = sorted(engine.run(data).reporting_cycles())
+        assert homog_offsets == nfa_offsets
+
+    def test_start_modes_transfer(self):
+        unanchored = simple_nfa().to_homogeneous()
+        assert any(
+            s.start is StartMode.ALL_INPUT for s in unanchored.stes()
+        )
+        anchored = simple_nfa(anchored=True).to_homogeneous()
+        assert any(s.start is StartMode.START_OF_DATA for s in anchored.stes())
+        assert not any(s.start is StartMode.ALL_INPUT for s in anchored.stes())
+
+    def test_state_split_on_distinct_incoming_labels(self):
+        # state 1 entered on 'a' OR on 'b': must split into two STEs
+        nfa = NFA()
+        nfa.add_state(0, start_all=True)
+        nfa.add_state(1, accept=True)
+        nfa.add_transition(0, CharSet.from_chars("a"), 1)
+        nfa.add_transition(0, CharSet.from_chars("b"), 1)
+        automaton = nfa.to_homogeneous()
+        assert automaton.n_states == 2
+
+    def test_accepting_start_rejected(self):
+        nfa = NFA()
+        nfa.add_state(0, start=True, accept=True)
+        with pytest.raises(AutomatonError):
+            nfa.to_homogeneous()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(0, 4),
+                st.frozensets(st.sampled_from(list(b"abc")), min_size=1, max_size=2),
+                st.integers(0, 4),
+            ),
+            max_size=10,
+        ),
+        accepts=st.sets(st.integers(1, 4), max_size=3),
+        data=st.binary(max_size=20).map(lambda raw: bytes(b"abc"[x % 3] for x in raw)),
+    )
+    def test_homogenisation_equivalence_property(self, edges, accepts, data):
+        nfa = NFA()
+        nfa.add_state(0, start_all=True)
+        for s in range(1, 5):
+            nfa.add_state(s, accept=s in accepts, report_code=s)
+        for src, symbols, dst in edges:
+            nfa.add_transition(src, CharSet(symbols), dst)
+        automaton = nfa.to_homogeneous()
+        nfa_offsets = sorted({offset for offset, _ in nfa.run(data)})
+        homog_offsets = sorted(ReferenceEngine(automaton).run(data).reporting_cycles())
+        assert homog_offsets == nfa_offsets

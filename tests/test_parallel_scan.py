@@ -1,0 +1,117 @@
+"""Input-parallel scanning tests: segmented == single-stream."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import VectorEngine
+from repro.engines.parallel import (
+    parallel_scan,
+    parallel_speedup_model,
+    split_with_overlap,
+)
+from repro.errors import EngineError
+from repro.regex import compile_regex
+from repro.benchmarks.mesh import hamming_automaton
+
+
+def fingerprints(result):
+    return [(r.offset, r.ident, repr(r.code)) for r in result.reports]
+
+
+class TestSplitting:
+    def test_covers_input_exactly(self):
+        segments = split_with_overlap(100, 4, 5)
+        assert segments[0].keep_from == 0
+        assert segments[-1].end == 100
+        keeps = [(s.keep_from, s.end) for s in segments]
+        assert keeps == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_overlap_extends_left(self):
+        segments = split_with_overlap(100, 4, 5)
+        assert segments[1].scan_start == 20
+        assert segments[0].scan_start == 0  # clamped at stream start
+
+    def test_single_segment(self):
+        segments = split_with_overlap(50, 1, 10)
+        assert segments == [type(segments[0])(0, 0, 50)]
+
+    def test_more_segments_than_symbols(self):
+        segments = split_with_overlap(3, 8, 2)
+        assert segments[-1].end == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_with_overlap(10, 0, 1)
+
+
+class TestParallelScan:
+    def test_match_spanning_boundary_found(self):
+        automaton = compile_regex("abcdefgh", report_code="r")
+        data = b"x" * 21 + b"abcdefgh" + b"x" * 21  # crosses the 25-mark
+        single = VectorEngine(automaton).run(data)
+        segmented = parallel_scan(automaton, data, 2)
+        assert fingerprints(segmented) == fingerprints(single)
+
+    def test_no_duplicate_reports_in_overlap(self):
+        automaton = compile_regex("ab", report_code="r")
+        data = b"ab" * 30
+        single = VectorEngine(automaton).run(data)
+        segmented = parallel_scan(automaton, data, 5)
+        assert fingerprints(segmented) == fingerprints(single)
+
+    def test_anchored_rejected(self):
+        with pytest.raises(EngineError):
+            parallel_scan(compile_regex("^ab"), b"abab", 2)
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(EngineError):
+            parallel_scan(compile_regex("a+b"), b"aab", 2)
+
+    def test_with_process_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        automaton = compile_regex("needle", report_code="n")
+        data = (b"hay " * 50 + b"needle ") * 3
+        single = VectorEngine(automaton).run(data)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            segmented = parallel_scan(automaton, data, 3, pool=pool)
+        assert fingerprints(segmented) == fingerprints(single)
+
+    def test_mesh_benchmark_segments_correctly(self):
+        from repro.inputs.dna import plant_pattern, random_dna
+
+        pattern = b"ACGTACGTACGTAC"
+        automaton = hamming_automaton(pattern, 2, pattern_id=0)
+        data = random_dna(2000, seed=1)
+        data = plant_pattern(data, pattern, 495, mutations=1, seed=2)  # near cut
+        single = VectorEngine(automaton).run(data)
+        segmented = parallel_scan(automaton, data, 4)
+        assert fingerprints(segmented) == fingerprints(single)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.binary(max_size=80).map(lambda raw: bytes(b"ab"[x % 2] for x in raw)),
+        n_segments=st.integers(1, 6),
+        pattern=st.sampled_from(["ab", "aba", "a{2,4}b", "[ab]{3}"]),
+    )
+    def test_segmented_equals_single_property(self, data, n_segments, pattern):
+        automaton = compile_regex(pattern, report_code="r")
+        single = VectorEngine(automaton).run(data)
+        segmented = parallel_scan(automaton, data, n_segments)
+        assert fingerprints(segmented) == fingerprints(single)
+
+
+class TestSpeedupModel:
+    def test_ideal_without_overlap(self):
+        assert parallel_speedup_model(1000, 4, 1) == pytest.approx(4.0)
+
+    def test_overlap_erodes_speedup(self):
+        assert parallel_speedup_model(1000, 4, 100) < 3.0
+
+    def test_single_segment_is_one(self):
+        assert parallel_speedup_model(1000, 1, 50) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_speedup_model(100, 0, 5)

@@ -1,0 +1,80 @@
+"""Routing-fabric placement model tests (Section II-B)."""
+
+import pytest
+
+from repro.benchmarks.mesh import hamming_automaton, levenshtein_automaton
+from repro.core import Automaton, CharSet, StartMode
+from repro.engines.placement import (
+    ISLAND_FABRIC,
+    TREE_FABRIC,
+    PlacementReport,
+    RoutingFabric,
+    place,
+)
+from repro.inputs.dna import random_dna_patterns
+from repro.regex import compile_ruleset
+
+
+def chains(n_patterns=50, length=20):
+    patterns = [(i, "a" * length) for i in range(n_patterns)]
+    automaton, _ = compile_ruleset(patterns)
+    return automaton
+
+
+def mesh_union(builder, l, d, n=30):
+    union = Automaton("mesh")
+    for i, pattern in enumerate(random_dna_patterns(n, l, seed=1)):
+        union.merge(builder(pattern, d, pattern_id=i), prefix=f"f{i}.")
+    return union
+
+
+class TestRoutingCost:
+    def test_linear_vs_quadratic(self):
+        a = Automaton()
+        hub = a.add_ste("h", CharSet.from_chars("a"), start=StartMode.ALL_INPUT).ident
+        for i in range(5):
+            a.add_ste(f"t{i}", CharSet.from_chars("b"))
+            a.add_edge(hub, f"t{i}")
+        assert ISLAND_FABRIC.routing_cost(a) == 5  # linear in fanout
+        assert TREE_FABRIC.routing_cost(a) == 25  # quadratic
+
+    def test_chains_cost_one_per_state(self):
+        automaton = chains(10, 10)
+        # every state has out-degree <= 1
+        assert TREE_FABRIC.routing_cost(automaton) <= automaton.n_states
+
+
+class TestPlacement:
+    def test_chains_are_state_bound_everywhere(self):
+        automaton = chains()
+        for fabric in (TREE_FABRIC, ISLAND_FABRIC):
+            report = place(automaton, fabric)
+            assert report.bound == "state"
+            assert report.chips_required == 1
+
+    def test_levenshtein_routing_bound_on_tree(self):
+        """The Section II-B effect: mesh automata strand tree-routed chips
+        at low state utilization; island routing recovers it."""
+        automaton = mesh_union(levenshtein_automaton, 24, 5)
+        tree = place(automaton, TREE_FABRIC)
+        island = place(automaton, ISLAND_FABRIC)
+        assert tree.bound == "routing"
+        assert tree.utilization < 0.10  # paper quotes 6%
+        assert island.utilization > 3 * tree.utilization
+
+    def test_hamming_less_affected_than_levenshtein(self):
+        ham = place(mesh_union(hamming_automaton, 22, 5), TREE_FABRIC)
+        lev = place(mesh_union(levenshtein_automaton, 24, 5), TREE_FABRIC)
+        assert ham.utilization > lev.utilization
+
+    def test_multi_chip_partitioning(self):
+        tiny = RoutingFabric("tiny", state_capacity=100, routing_capacity=200,
+                             fanout_exponent=1.0)
+        report = place(chains(50, 10), tiny)
+        assert report.chips_required == 5
+        assert report.utilization == pytest.approx(1.0)
+
+    def test_report_str(self):
+        report = place(chains(5, 5), TREE_FABRIC)
+        assert "state-bound" in str(report)
+        assert isinstance(report, PlacementReport)

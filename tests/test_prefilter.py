@@ -1,0 +1,145 @@
+"""Literal-prefilter scanner tests (the Hyperscan decomposition)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import VectorEngine
+from repro.engines.prefilter import PrefilterScanner, max_match_length, required_factors
+from repro.regex import compile_regex, parse_regex
+
+
+def factors_of(pattern):
+    return required_factors(parse_regex(pattern).ast)
+
+
+class TestFactorExtraction:
+    def test_plain_literal(self):
+        assert factors_of("hello") == frozenset([b"hello"])
+
+    def test_longest_run_chosen(self):
+        assert factors_of("ab.defgh") == frozenset([b"defgh"])
+
+    def test_classes_break_runs(self):
+        assert factors_of("ab[xy]cd") in (frozenset([b"ab"]), frozenset([b"cd"]))
+
+    def test_optional_parts_excluded(self):
+        # 'xy' is optional, so only 'abc' is guaranteed
+        assert factors_of("(?:xy)?abc") == frozenset([b"abc"])
+
+    def test_alternation_union(self):
+        assert factors_of("foo|bar") == frozenset([b"foo", b"bar"])
+
+    def test_alternation_with_factorless_branch(self):
+        assert factors_of("foo|[0-9]") is None
+
+    def test_repeat_at_least_once_keeps_factor(self):
+        assert factors_of("(?:abc)+") == frozenset([b"abc"])
+
+    def test_star_drops_factor(self):
+        assert factors_of("(?:abc)*") is None
+
+    def test_no_factor_for_pure_classes(self):
+        assert factors_of("[0-9]{4}") is None
+
+    def test_single_chars_too_short(self):
+        assert factors_of("a[0-9]b") is None
+
+    def test_nested(self):
+        # several guaranteed factor sets exist ({start,begin} and {end});
+        # the extractor picks the one with the longest minimum factor
+        assert factors_of("(?:start|begin)[0-9]+end..") == frozenset(
+            [b"start", b"begin"]
+        )
+
+
+class TestMaxMatchLength:
+    def test_fixed_literal(self):
+        assert max_match_length(compile_regex("abcde")) == 5
+
+    def test_bounded_repeat(self):
+        assert max_match_length(compile_regex("a{2,6}")) == 6
+
+    def test_alternation(self):
+        assert max_match_length(compile_regex("ab|wxyz")) == 4
+
+    def test_unbounded(self):
+        assert max_match_length(compile_regex("ab+c")) is None
+        assert max_match_length(compile_regex("a.*b")) is None
+
+
+class TestScanner:
+    RULES = [
+        ("r1", "needle[0-9]{2}"),
+        ("r2", "foo|barbaz"),
+        ("r3", "[0-9]{3}"),  # factorless: always confirmed
+        ("r4", "^header"),
+    ]
+
+    def fingerprints(self, data):
+        scanner = PrefilterScanner(self.RULES)
+        got = {(r.offset, r.code) for r in scanner.scan(data).reports}
+        expected = set()
+        for code, pattern in self.RULES:
+            automaton = compile_regex(pattern, report_code=code)
+            expected.update(
+                (r.offset, r.code) for r in VectorEngine(automaton).run(data).reports
+            )
+        return got, expected
+
+    def test_equivalence_on_mixed_input(self):
+        data = b"headerfoo needle42 barbaz 123 xx needle?? 999"
+        got, expected = self.fingerprints(data)
+        assert got == expected
+
+    def test_equivalence_when_factors_absent(self):
+        got, expected = self.fingerprints(b"nothing interesting 55 here")
+        assert got == expected
+
+    def test_anchored_rule_not_reanchored(self):
+        # 'header' appears late: the anchored rule must NOT fire
+        got, expected = self.fingerprints(b"xx header 123")
+        assert got == expected
+        assert not any(code == "r4" for _, code in got)
+
+    def test_gated_rule_count(self):
+        scanner = PrefilterScanner(self.RULES)
+        assert scanner.gated_rules == 3  # r3 has no factor
+
+    def test_match_spanning_window_merge(self):
+        scanner = PrefilterScanner([("r", "ab{1,20}c")])
+        data = b"zz a" + b"b" * 18 + b"c zz"
+        got = {(r.offset, r.code) for r in scanner.scan(data).reports}
+        automaton = compile_regex("ab{1,20}c", report_code="r")
+        expected = {
+            (r.offset, r.code) for r in VectorEngine(automaton).run(data).reports
+        }
+        assert got == expected
+
+
+ALPHABET = b"abn0 "
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    data=st.binary(max_size=60).map(
+        lambda raw: bytes(ALPHABET[x % len(ALPHABET)] for x in raw)
+    )
+)
+def test_prefilter_equivalence_property(data):
+    rules = [
+        ("exact", "ban"),
+        ("counted", "na{1,3}b"),
+        ("anchored", "^ab"),
+        ("unbounded", "nb+a"),
+        ("classy", "[ab]n"),
+    ]
+    scanner = PrefilterScanner(rules)
+    got = {(r.offset, r.code) for r in scanner.scan(data).reports}
+    expected = set()
+    for code, pattern in rules:
+        automaton = compile_regex(pattern, report_code=code)
+        expected.update(
+            (r.offset, r.code) for r in VectorEngine(automaton).run(data).reports
+        )
+    assert got == expected

@@ -1,0 +1,114 @@
+"""Tests for the profile-driven mesh design methodology (Section X)."""
+
+import pytest
+
+from repro.profiling import (
+    ProfilePoint,
+    expected_reports_per_million,
+    figure1_sweep,
+    hamming_match_probability,
+    measure_rate,
+    min_length_for_rate,
+    select_pattern_length,
+)
+
+
+class TestAnalyticModel:
+    def test_probability_bounds(self):
+        assert 0 < hamming_match_probability(10, 2) < 1
+        assert hamming_match_probability(5, 5) == 1.0
+
+    def test_monotone_in_d(self):
+        assert hamming_match_probability(20, 5) > hamming_match_probability(20, 3)
+
+    def test_monotone_decreasing_in_l(self):
+        assert hamming_match_probability(25, 3) < hamming_match_probability(15, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hamming_match_probability(0, 1)
+        with pytest.raises(ValueError):
+            hamming_match_probability(5, -1)
+
+    def test_reproduces_table5_hamming_lengths(self):
+        """The paper's profile-chosen Hamming lengths are a mathematical
+        property of random DNA; the closed form reproduces Table V exactly."""
+        assert min_length_for_rate(3) == 18
+        assert min_length_for_rate(5) == 22
+        assert min_length_for_rate(10) == 31
+
+    def test_no_length_meets_threshold(self):
+        with pytest.raises(ValueError):
+            min_length_for_rate(3, l_max=5)
+
+    def test_binary_alphabet(self):
+        # On a binary alphabet filters must be much longer.
+        assert min_length_for_rate(3, alphabet_size=2) > min_length_for_rate(3)
+
+
+class TestMeasuredRates:
+    def test_measured_close_to_analytic(self):
+        # Short filters match often; the Monte-Carlo estimate should agree
+        # with the closed form within sampling noise.
+        point = measure_rate(
+            "hamming", 2, 8, n_filters=5, n_symbols=20_000, trials=2, seed=3
+        )
+        expected = expected_reports_per_million(8, 2)
+        assert 0.5 * expected < point.reports_per_million < 1.5 * expected
+
+    def test_automata_method_agrees_with_fast(self):
+        kwargs = dict(n_filters=3, n_symbols=4_000, trials=1, seed=11)
+        fast = measure_rate("hamming", 1, 6, method="fast", **kwargs)
+        slow = measure_rate("hamming", 1, 6, method="automata", **kwargs)
+        assert fast.reports_per_million == slow.reports_per_million
+
+    def test_automata_method_agrees_for_levenshtein(self):
+        kwargs = dict(n_filters=2, n_symbols=2_000, trials=1, seed=5)
+        fast = measure_rate("levenshtein", 1, 6, method="fast", **kwargs)
+        slow = measure_rate("levenshtein", 1, 6, method="automata", **kwargs)
+        assert fast.reports_per_million == slow.reports_per_million
+
+    def test_levenshtein_rate_above_hamming(self):
+        kwargs = dict(n_filters=4, n_symbols=30_000, trials=1, seed=2)
+        ham = measure_rate("hamming", 2, 10, **kwargs)
+        lev = measure_rate("levenshtein", 2, 10, **kwargs)
+        assert lev.reports_per_million >= ham.reports_per_million
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            measure_rate("jaccard", 1, 5)
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValueError):
+            measure_rate("hamming", 1, 5, method="quantum", n_symbols=10, trials=1)
+
+
+class TestSelection:
+    def test_selects_hamming_d2(self):
+        # analytic answer for d=2 is l=15; Monte-Carlo should land within 1.
+        analytic = min_length_for_rate(2)
+        chosen, points = select_pattern_length(
+            "hamming", 2, n_filters=5, n_symbols=150_000, trials=2, seed=4
+        )
+        assert abs(chosen - analytic) <= 1
+        assert points[-1].reports_per_million < 1.0
+        # the sweep is monotone-ish decreasing
+        assert points[0].reports_per_million > points[-1].reports_per_million
+
+    def test_sweep_returns_requested_lengths(self):
+        points = figure1_sweep(
+            "hamming", 1, [4, 6], n_filters=2, n_symbols=5_000, trials=1
+        )
+        assert [p.l for p in points] == [4, 6]
+        assert all(isinstance(p, ProfilePoint) for p in points)
+
+    def test_threshold_failure(self):
+        with pytest.raises(ValueError):
+            select_pattern_length(
+                "hamming",
+                2,
+                l_max=6,
+                n_filters=2,
+                n_symbols=2_000,
+                trials=1,
+            )

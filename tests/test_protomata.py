@@ -1,0 +1,86 @@
+"""PROSITE parsing and Protomata benchmark tests."""
+
+import pytest
+
+from repro.benchmarks.protomata import (
+    build_protomata_benchmark,
+    generate_motifs,
+    generate_proteome,
+    materialize_motif,
+)
+from repro.engines import ReferenceEngine, VectorEngine
+from repro.errors import PatternError
+from repro.prosite import AMINO_ACIDS, prosite_to_regex
+from repro.regex import compile_regex
+
+
+def offsets(regex, data):
+    return {r.offset for r in ReferenceEngine(compile_regex(regex)).run(data).reports}
+
+
+class TestProsite:
+    def test_simple_pattern(self):
+        regex = prosite_to_regex("A-C-x-V.")
+        assert offsets(regex, b"AACGV") == {4}
+        assert offsets(regex, b"ACV") == set()
+
+    def test_residue_set(self):
+        regex = prosite_to_regex("[AC]-G")
+        assert offsets(regex, b"AG CG TG") == {1, 4}
+
+    def test_negated_set(self):
+        regex = prosite_to_regex("{ED}-G")
+        assert offsets(regex, b"AG EG DG") == {1}
+
+    def test_repetition(self):
+        regex = prosite_to_regex("A-x(3)-C")
+        assert offsets(regex, b"AKLMC") == {4}
+        assert offsets(regex, b"AKLC") == set()
+
+    def test_range_repetition(self):
+        regex = prosite_to_regex("A-x(1,2)-C")
+        assert offsets(regex, b"AKC") == {2}
+        assert offsets(regex, b"AKLC") == {3}
+
+    def test_anchored(self):
+        regex = prosite_to_regex("<M-A")
+        assert offsets(regex, b"MAMA") == {1}
+
+    def test_x_means_any_residue_not_any_byte(self):
+        regex = prosite_to_regex("A-x-C")
+        assert offsets(regex, b"A.C") == set()  # '.' is not an amino acid
+
+    def test_errors(self):
+        for bad in ["A-B2", "A-[XZ5]", "A-x(3,1)", "", ".", "A-C>", "J"]:
+            with pytest.raises(PatternError):
+                prosite_to_regex(bad)
+
+
+class TestProtomataBenchmark:
+    def test_motif_generation_valid(self):
+        motifs = generate_motifs(50, seed=1)
+        assert len(motifs) == 50
+        for motif in motifs:
+            prosite_to_regex(motif)  # every motif must compile
+
+    def test_materialized_motif_matches(self):
+        for motif in generate_motifs(20, seed=2):
+            fragment = materialize_motif(motif, seed=3)
+            regex = prosite_to_regex(motif)
+            assert offsets(regex, fragment), motif
+
+    def test_proteome_alphabet(self):
+        proteome = generate_proteome(500, seed=0)
+        assert set(proteome) <= set(AMINO_ACIDS.encode())
+
+    def test_planted_motifs_found(self):
+        bench = build_protomata_benchmark(
+            n_motifs=40, n_residues=5000, n_planted=4, seed=5
+        )
+        result = VectorEngine(bench.automaton).run(bench.proteome)
+        found = {event.code for event in result.reports}
+        assert set(bench.planted) <= found
+
+    def test_one_subgraph_per_motif(self):
+        bench = build_protomata_benchmark(n_motifs=25, n_residues=500, seed=6)
+        assert len(bench.automaton.connected_components()) == 25

@@ -1,0 +1,102 @@
+"""End-to-end Random Forest automata kernel tests (Section VI/VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.randomforest import (
+    DELIM,
+    VARIANTS,
+    classify_with_automaton,
+    encode_samples,
+    forest_to_automaton,
+    train_variant,
+)
+from repro.baselines import NativeForest
+from repro.engines import VectorEngine
+from repro.ml import RandomForest, make_digits, select_features
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A small forest + automaton used across tests."""
+    digits = make_digits(n_train=500, n_test=120, seed=3)
+    features = select_features(digits.train_x, digits.train_y, 30)
+    train_x = digits.train_x[:, features]
+    test_x = digits.test_x[:, features]
+    forest = RandomForest(n_trees=5, max_leaves=30, seed=3).fit(
+        train_x, digits.train_y
+    )
+    automaton = forest_to_automaton(forest, 30)
+    return forest, automaton, test_x, digits.test_y
+
+
+class TestEncoding:
+    def test_delimiter_prefix(self):
+        x = np.array([[10, 20], [30, 40]], dtype=np.uint8)
+        assert encode_samples(x) == bytes([DELIM, 10, 20, DELIM, 30, 40])
+
+    def test_values_clipped_below_delim(self):
+        x = np.array([[255]], dtype=np.uint8)
+        assert encode_samples(x) == bytes([DELIM, 254])
+
+
+class TestAutomatonStructure:
+    def test_one_subgraph_per_path(self, trained):
+        forest, automaton, _, _ = trained
+        components = automaton.connected_components()
+        assert len(components) == forest.total_leaves()
+
+    def test_validates(self, trained):
+        _, automaton, _, _ = trained
+        automaton.validate()
+
+    def test_each_tree_reports_once_per_sample(self, trained):
+        forest, automaton, test_x, _ = trained
+        result = VectorEngine(automaton).run(encode_samples(test_x[:20]))
+        f = test_x.shape[1]
+        for sample in range(20):
+            trees = [
+                e.code[0]
+                for e in result.reports
+                if e.offset // (f + 1) == sample
+            ]
+            # paths of a tree partition feature space: exactly one report
+            # per tree per sample
+            assert sorted(trees) == list(range(len(forest.trees)))
+
+
+class TestClassificationEquivalence:
+    def test_automaton_matches_python_forest(self, trained):
+        forest, automaton, test_x, _ = trained
+        expected = forest.predict(test_x[:60])
+        got = classify_with_automaton(automaton, test_x[:60], n_classes=10)
+        assert np.array_equal(got, expected)
+
+    def test_automaton_matches_native_forest(self, trained):
+        forest, automaton, test_x, _ = trained
+        native = NativeForest(forest).predict(test_x[:40])
+        got = classify_with_automaton(automaton, test_x[:40], n_classes=10)
+        assert np.array_equal(got, native)
+
+
+class TestVariants:
+    def test_variant_parameters_match_table2(self):
+        assert (VARIANTS["A"].n_features, VARIANTS["A"].max_leaves) == (270, 400)
+        assert (VARIANTS["B"].n_features, VARIANTS["B"].max_leaves) == (200, 400)
+        assert (VARIANTS["C"].n_features, VARIANTS["C"].max_leaves) == (200, 800)
+        assert all(v.n_trees == 20 for v in VARIANTS.values())
+
+    def test_scaled_training_relationships(self):
+        """At reduced scale the Table II shape must hold: A streams more
+        symbols than B; C has more states than B."""
+        kwargs = dict(n_train=400, n_test=100, seed=5, scale=0.12)
+        a = train_variant(VARIANTS["A"], **kwargs)
+        b = train_variant(VARIANTS["B"], **kwargs)
+        c = train_variant(VARIANTS["C"], **kwargs)
+        assert a.symbols_per_classification > b.symbols_per_classification
+        ratio = a.symbols_per_classification / b.symbols_per_classification
+        assert 1.2 < ratio < 1.5  # paper: 1.35x runtime
+        assert c.states > 1.5 * b.states
+        # far above 10-class chance even at 12% scale
+        for variant in (a, b, c):
+            assert variant.accuracy > 0.35

@@ -1,0 +1,180 @@
+"""Glushkov compilation tests, including a differential oracle against re.
+
+The key invariant: for unanchored patterns, the compiled automaton reports
+at offset t iff some substring ending at t matches the regex; for anchored
+patterns, iff the prefix data[:t+1] has a suffix-free match from position 0.
+Python's re module (in bytes/ASCII mode) is the oracle.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import ReferenceEngine, VectorEngine
+from repro.errors import RegexError
+from repro.regex import compile_regex, compile_ruleset
+
+
+def reporting_offsets(pattern, data, flags="", anchored=None):
+    automaton = compile_regex(pattern, flags, anchored=anchored)
+    return ReferenceEngine(automaton).run(data).reporting_cycles()
+
+
+def oracle_offsets(pattern, data, anchored, re_flags=0):
+    """Offsets t such that some match of pattern ends at t (inclusive)."""
+    compiled = re.compile(pattern.encode("latin-1"), re_flags)
+    out = set()
+    for t in range(len(data)):
+        starts = [0] if anchored else range(t + 1)
+        for i in starts:
+            m = compiled.fullmatch(data, i, t + 1)
+            if m is not None and m.end() == t + 1:
+                out.add(t)
+                break
+    return out
+
+
+class TestBasicCompilation:
+    def test_literal(self):
+        assert reporting_offsets("abc", b"xxabcxabc") == {4, 8}
+
+    def test_alternation(self):
+        assert reporting_offsets("cat|dog", b"a cat and a dog") == {4, 14}
+
+    def test_star(self):
+        # ab*c: matches ac, abc, abbc...
+        assert reporting_offsets("ab*c", b"ac abc abbc x") == {1, 5, 10}
+
+    def test_plus(self):
+        assert reporting_offsets("ab+c", b"ac abc abbc") == {5, 10}
+
+    def test_optional(self):
+        assert reporting_offsets("colou?r", b"color colour") == {4, 11}
+
+    def test_counted(self):
+        assert reporting_offsets("a{3}", b"aaaa") == {2, 3}
+        assert reporting_offsets("a{2,3}", b"aaaa") == {1, 2, 3}
+
+    def test_counted_unbounded(self):
+        assert reporting_offsets("ba{2,}", b"baaa") == {2, 3}
+
+    def test_class_and_dot(self):
+        assert reporting_offsets("[0-9].[0-9]", b"1x2 3\n4") == {2, 4}
+
+    def test_anchored(self):
+        assert reporting_offsets("^ab", b"abab") == {1}
+        assert reporting_offsets("ab", b"abab") == {1, 3}
+
+    def test_anchor_override(self):
+        assert reporting_offsets("ab", b"abab", anchored=True) == {1}
+
+    def test_caseless(self):
+        assert reporting_offsets("abc", b"ABC abc AbC", flags="i") == {2, 6, 10}
+
+    def test_nullable_pattern_reports_nonempty_only(self):
+        # a* matches empty everywhere; we only report nonempty matches.
+        assert reporting_offsets("a*", b"ba") == {1}
+
+    def test_empty_only_pattern_rejected(self):
+        with pytest.raises(RegexError):
+            compile_regex("()")
+
+    def test_report_code_defaults_to_pattern(self):
+        automaton = compile_regex("ab")
+        engine = ReferenceEngine(automaton)
+        assert engine.run(b"ab").reports[0].code == "ab"
+
+    def test_nested_groups(self):
+        assert reporting_offsets("(a(b|c))+d", b"abacd") == {4}
+
+    def test_state_count_equals_positions(self):
+        assert compile_regex("ab[cd]e").n_states == 4
+        # counted repetitions expand positions
+        assert compile_regex("a{4}").n_states == 4
+
+
+class TestRuleset:
+    def test_union_reports_distinct_codes(self):
+        automaton, rejected = compile_ruleset([(1, "ab"), (2, "bc")])
+        assert rejected == []
+        reports = ReferenceEngine(automaton).run(b"abc").reports
+        assert {(r.offset, r.code) for r in reports} == {(1, 1), (2, 2)}
+
+    def test_skip_unsupported(self):
+        automaton, rejected = compile_ruleset(
+            [(1, "ok"), (2, r"(bad)\1"), (3, "/pcre/i")], skip_unsupported=True
+        )
+        assert [code for code, _ in rejected] == [2]
+        assert automaton.n_states == 2 + 4
+
+    def test_unsupported_raises_without_flag(self):
+        with pytest.raises(RegexError):
+            compile_ruleset([(1, r"(a)\1")])
+
+
+# -- differential testing against Python's re ------------------------------
+
+ATOMS = ["a", "b", "c", ".", "[ab]", "[^a]", r"\d"]
+
+
+@st.composite
+def regex_strings(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from(ATOMS))
+    kind = draw(st.sampled_from(["atom", "concat", "alt", "star", "plus", "opt", "rep"]))
+    if kind == "atom":
+        return draw(st.sampled_from(ATOMS))
+    if kind == "concat":
+        return draw(regex_strings(depth=depth - 1)) + draw(regex_strings(depth=depth - 1))
+    if kind == "alt":
+        left = draw(regex_strings(depth=depth - 1))
+        right = draw(regex_strings(depth=depth - 1))
+        return f"(?:{left}|{right})"
+    inner = draw(regex_strings(depth=depth - 1))
+    if kind == "star":
+        return f"(?:{inner})*"
+    if kind == "plus":
+        return f"(?:{inner})+"
+    if kind == "opt":
+        return f"(?:{inner})?"
+    lo = draw(st.integers(0, 2))
+    hi = draw(st.integers(lo, lo + 2))
+    return f"(?:{inner}){{{lo},{hi}}}"
+
+
+input_bytes = st.binary(max_size=14).map(
+    lambda raw: bytes(b"ab1c"[b % 4] for b in raw)
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pattern=regex_strings(), data=input_bytes, anchored=st.booleans())
+def test_matches_python_re_oracle(pattern, data, anchored):
+    try:
+        automaton = compile_regex(pattern, anchored=anchored)
+    except RegexError:
+        # pattern matches only the empty string (e.g. (?:a){0,0}); skip
+        return
+    got = ReferenceEngine(automaton).run(data).reporting_cycles()
+    # Exclude empty matches from the oracle: ours never reports them.
+    expected = {
+        t
+        for t in oracle_offsets(pattern, data, anchored)
+    }
+    # The oracle's fullmatch(i, t+1) with i == t+1 would be an empty match;
+    # oracle_offsets never produces those because i <= t.
+    assert got == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=regex_strings(), data=input_bytes)
+def test_vector_engine_on_compiled_regexes(pattern, data):
+    try:
+        automaton = compile_regex(pattern)
+    except RegexError:
+        return
+    ref = ReferenceEngine(automaton).run(data)
+    vec = VectorEngine(automaton).run(data)
+    assert vec.reports == ref.reports

@@ -1,0 +1,260 @@
+"""Unit tests for the regex parser and character-class handling."""
+
+import pytest
+
+from repro.core.charset import CharSet
+from repro.errors import RegexError, RegexUnsupportedError
+from repro.regex import Flags, parse_pcre, parse_regex
+from repro.regex.ast_nodes import Alt, Concat, Empty, Literal, Repeat
+from repro.regex.charclass import casefold_charset
+
+
+def lit_ast(pattern):
+    return parse_regex(pattern).ast
+
+
+class TestAtoms:
+    def test_literal_sequence(self):
+        ast = lit_ast("abc")
+        assert isinstance(ast, Concat) and len(ast.parts) == 3
+        assert all(isinstance(p, Literal) for p in ast.parts)
+
+    def test_dot_excludes_newline(self):
+        ast = lit_ast(".")
+        assert "\n" not in ast.charset
+        assert "a" in ast.charset
+
+    def test_dotall_flag(self):
+        ast = parse_regex(".", Flags(dotall=True)).ast
+        assert "\n" in ast.charset
+
+    def test_escaped_metachar(self):
+        ast = lit_ast(r"\.")
+        assert ast.charset == CharSet.from_chars(".")
+
+    def test_hex_escape(self):
+        assert lit_ast(r"\x41").charset == CharSet.from_chars("A")
+
+    def test_bad_hex_escape(self):
+        with pytest.raises(RegexError):
+            parse_regex(r"\xZZ")
+
+    def test_class_escapes(self):
+        assert lit_ast(r"\d").charset == CharSet.from_chars("0123456789")
+        assert "a" in lit_ast(r"\w").charset
+        assert "_" in lit_ast(r"\w").charset
+        assert " " in lit_ast(r"\s").charset
+        assert "a" not in lit_ast(r"\D").charset or True  # \D is complement
+        assert "5" not in lit_ast(r"\D").charset
+
+    def test_trailing_backslash(self):
+        with pytest.raises(RegexError):
+            parse_regex("ab\\")
+
+
+class TestClasses:
+    def test_simple_class(self):
+        assert lit_ast("[abc]").charset == CharSet.from_chars("abc")
+
+    def test_range(self):
+        assert lit_ast("[a-d]").charset == CharSet.from_chars("abcd")
+
+    def test_negated(self):
+        cs = lit_ast("[^a]").charset
+        assert "a" not in cs and cs.cardinality() == 255
+
+    def test_leading_close_bracket_literal(self):
+        assert lit_ast("[]a]").charset == CharSet.from_chars("]a")
+
+    def test_dash_positions(self):
+        assert lit_ast("[-a]").charset == CharSet.from_chars("-a")
+        assert lit_ast("[a-]").charset == CharSet.from_chars("-a")
+
+    def test_class_with_escape(self):
+        assert lit_ast(r"[\n\t]").charset == CharSet.from_chars("\n\t")
+
+    def test_class_with_class_escape(self):
+        assert lit_ast(r"[\da]").charset == CharSet.from_chars("0123456789a")
+
+    def test_posix_class(self):
+        assert lit_ast("[[:digit:]]").charset == CharSet.from_chars("0123456789")
+
+    def test_unknown_posix_class(self):
+        with pytest.raises(RegexError):
+            parse_regex("[[:nope:]]")
+
+    def test_unterminated(self):
+        with pytest.raises(RegexError):
+            parse_regex("[abc")
+
+    def test_inverted_range(self):
+        with pytest.raises(RegexError):
+            parse_regex("[z-a]")
+
+    def test_negated_everything_rejected(self):
+        with pytest.raises(RegexError):
+            parse_regex(r"[^\x00-\xff]")
+
+
+class TestQuantifiers:
+    def test_star_plus_opt(self):
+        for pat, lo, hi in [("a*", 0, None), ("a+", 1, None), ("a?", 0, 1)]:
+            ast = lit_ast(pat)
+            assert isinstance(ast, Repeat)
+            assert (ast.min, ast.max) == (lo, hi)
+
+    def test_counted(self):
+        ast = lit_ast("a{2,5}")
+        assert (ast.min, ast.max) == (2, 5)
+        assert lit_ast("a{3}").min == 3
+        assert lit_ast("a{3}").max == 3
+        assert lit_ast("a{2,}").max is None
+
+    def test_lazy_and_possessive_ignored(self):
+        for pat in ["a*?", "a+?", "a??", "a{1,2}?", "a*+"]:
+            ast = lit_ast(pat)
+            assert isinstance(ast, Repeat)
+
+    def test_malformed_braces_are_literal(self):
+        ast = lit_ast("a{x}")
+        # '{', 'x', '}' become literals after 'a'
+        assert isinstance(ast, Concat) and len(ast.parts) == 4
+
+    def test_inverted_bounds(self):
+        with pytest.raises(RegexError):
+            parse_regex("a{5,2}")
+
+    def test_bare_quantifier_rejected(self):
+        with pytest.raises(RegexError):
+            parse_regex("*a")
+
+
+class TestGroupsAndAlternation:
+    def test_alternation(self):
+        ast = lit_ast("a|b|c")
+        assert isinstance(ast, Alt) and len(ast.options) == 3
+
+    def test_group_quantified(self):
+        ast = lit_ast("(ab)+")
+        assert isinstance(ast, Repeat)
+        assert isinstance(ast.child, Concat)
+
+    def test_non_capturing_group(self):
+        assert isinstance(lit_ast("(?:ab)"), Concat)
+
+    def test_empty_alternative(self):
+        ast = lit_ast("a|")
+        assert isinstance(ast, Alt)
+        assert isinstance(ast.options[1], Empty)
+
+    def test_unterminated_group(self):
+        with pytest.raises(RegexError):
+            parse_regex("(ab")
+
+    def test_stray_close_paren(self):
+        with pytest.raises(RegexError):
+            parse_regex("ab)")
+
+
+class TestAnchorsAndFlags:
+    def test_leading_caret_sets_anchored(self):
+        assert parse_regex("^abc").anchored
+        assert not parse_regex("abc").anchored
+
+    def test_mid_pattern_caret_rejected(self):
+        with pytest.raises(RegexUnsupportedError):
+            parse_regex("a^b")
+
+    def test_dollar_rejected(self):
+        with pytest.raises(RegexUnsupportedError):
+            parse_regex("abc$")
+
+    def test_inline_flags(self):
+        parsed = parse_regex("(?i)abc")
+        assert parsed.flags.caseless
+        assert "A" in parsed.ast.parts[0].charset
+
+    def test_caseless_flag_object(self):
+        parsed = parse_regex("a", Flags(caseless=True))
+        assert parsed.ast.charset == CharSet.from_chars("aA")
+
+    def test_casefold_closure(self):
+        cs = casefold_charset(CharSet.from_chars("aZ9"))
+        assert cs == CharSet.from_chars("aAzZ9")
+
+
+class TestUnsupported:
+    @pytest.mark.parametrize(
+        "pattern",
+        [r"(a)\1", r"(?=a)", r"(?!a)", r"(?<=a)b", r"\bword", r"(?P<x>a)"],
+    )
+    def test_rejected_constructs(self, pattern):
+        with pytest.raises(RegexUnsupportedError):
+            parse_regex(pattern)
+
+
+class TestPcreForm:
+    def test_basic(self):
+        parsed = parse_pcre("/abc/i")
+        assert parsed.flags.caseless
+
+    def test_no_flags(self):
+        parsed = parse_pcre("/a[bc]/")
+        assert not parsed.flags.caseless
+
+    def test_slash_in_class(self):
+        # rfind picks the final delimiter
+        parsed = parse_pcre("/a[/]b/")
+        assert isinstance(parsed.ast, Concat)
+
+    def test_bad_forms(self):
+        with pytest.raises(RegexError):
+            parse_pcre("abc")
+        with pytest.raises(RegexError):
+            parse_pcre("/abc")
+        with pytest.raises(RegexUnsupportedError):
+            parse_pcre("/abc/Q")
+
+
+class TestQuoting:
+    """PCRE \\Q...\\E literal quoting."""
+
+    def test_metacharacters_quoted(self):
+        from repro.engines import ReferenceEngine
+        from repro.regex import compile_regex
+
+        automaton = compile_regex(r"\Qa.b*c\E")
+        engine = ReferenceEngine(automaton)
+        assert engine.count_reports(b"xa.b*cy") == 1
+        assert engine.count_reports(b"xaXbbbcy") == 0
+
+    def test_quantifier_after_quoting(self):
+        from repro.engines import ReferenceEngine
+        from repro.regex import compile_regex
+
+        # the + applies to the last quoted character
+        engine = ReferenceEngine(compile_regex(r"\Qab\E+"))
+        assert engine.count_reports(b"abbb") == 3
+        assert engine.count_reports(b"a") == 0
+
+    def test_unterminated_quote_runs_to_end(self):
+        from repro.engines import ReferenceEngine
+        from repro.regex import compile_regex
+
+        engine = ReferenceEngine(compile_regex(r"x\Q(a)"))
+        assert engine.count_reports(b"zx(a)z") == 1
+
+    def test_mixed_with_normal_syntax(self):
+        from repro.engines import ReferenceEngine
+        from repro.regex import compile_regex
+
+        engine = ReferenceEngine(compile_regex(r"[0-9]\Q+.\E[0-9]"))
+        assert engine.count_reports(b"1+.2") == 1
+        assert engine.count_reports(b"1x.2") == 0
+
+    def test_escapes_outside_quote_untouched(self):
+        from repro.engines import ReferenceEngine
+        from repro.regex import compile_regex
+
+        engine = ReferenceEngine(compile_regex(r"\d\Q?\E"))
+        assert engine.count_reports(b"5?") == 1

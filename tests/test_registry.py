@@ -1,0 +1,115 @@
+"""Suite registry tests: every benchmark builds, runs, and scales."""
+
+import pytest
+
+from repro.benchmarks import BENCHMARK_NAMES, Benchmark, build_benchmark, build_suite
+from repro.engines import VectorEngine
+from repro.stats import compute_static_stats, summarize_benchmark
+
+SCALE = 0.004
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return {name: build_benchmark(name, scale=SCALE, seed=SEED) for name in BENCHMARK_NAMES}
+
+
+class TestRegistry:
+    def test_all_table1_rows_present(self):
+        expected = {
+            "Snort", "ClamAV", "Protomata", "Brill",
+            "Random Forest A", "Random Forest B", "Random Forest C",
+            "Hamming 18x3", "Hamming 22x5", "Hamming 31x10",
+            "Levenshtein 19x3", "Levenshtein 24x5", "Levenshtein 37x10",
+            "Seq. Match 6w 6p", "Seq. Match 6w 6p wC",
+            "Seq. Match 6w 10p", "Seq. Match 6w 10p wC",
+            "Entity Resolution", "CRISPR CasOffinder", "CRISPR CasOT",
+            "YARA", "YARA Wide", "File Carving",
+            "AP PRNG 4-sided", "AP PRNG 8-sided",
+        }
+        assert set(BENCHMARK_NAMES) == expected
+        assert len(BENCHMARK_NAMES) == 25  # Table I's 25 rows
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmark("Fermi")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_benchmark("Snort", scale=0)
+
+    def test_every_benchmark_valid_and_runnable(self, suite):
+        for name, bench in suite.items():
+            assert isinstance(bench, Benchmark)
+            bench.automaton.validate()
+            assert bench.states > 0
+            assert len(bench.input_data) > 0
+            # run a slice of the standard input end to end
+            result = VectorEngine(bench.automaton).run(
+                bench.input_data[:1500], record_active=True
+            )
+            assert result.cycles == min(1500, len(bench.input_data))
+
+    def test_scaling_grows_benchmarks(self):
+        small = build_benchmark("Hamming 18x3", scale=0.005, seed=1)
+        large = build_benchmark("Hamming 18x3", scale=0.02, seed=1)
+        assert large.states > 2 * small.states
+        assert len(large.input_data) > len(small.input_data)
+
+    def test_deterministic_builds(self):
+        a = build_benchmark("Protomata", scale=0.01, seed=7)
+        b = build_benchmark("Protomata", scale=0.01, seed=7)
+        assert a.states == b.states
+        assert a.input_data == b.input_data
+
+    def test_build_suite_subset(self):
+        suite = build_suite(scale=0.005, seed=1, names=["Snort", "YARA"])
+        assert [b.name for b in suite] == ["Snort", "YARA"]
+
+    def test_apprng_marked_incompressible(self, suite):
+        assert suite["AP PRNG 4-sided"].compressible is False
+        assert suite["Snort"].compressible is True
+
+
+class TestTable1Shapes:
+    """Structural relationships Table I exhibits must hold at any scale."""
+
+    def test_levenshtein_denser_than_hamming(self, suite):
+        ham = compute_static_stats(suite["Hamming 22x5"].automaton)
+        lev = compute_static_stats(suite["Levenshtein 24x5"].automaton)
+        assert lev.edges_per_node > 2 * ham.edges_per_node
+
+    def test_mesh_size_grows_with_distance(self, suite):
+        sizes = [
+            suite[f"Hamming {l}x{d}"].states
+            for l, d in ((18, 3), (22, 5), (31, 10))
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_rf_c_is_largest_forest(self, suite):
+        assert suite["Random Forest C"].states > suite["Random Forest B"].states
+
+    def test_seqmatch_wc_adds_one_counter_per_pattern(self, suite):
+        plain = suite["Seq. Match 6w 6p"]
+        counted = suite["Seq. Match 6w 6p wC"]
+        n_patterns = plain.meta["patterns"]
+        n_counters = sum(1 for _ in counted.automaton.counters())
+        assert n_counters == n_patterns
+        assert counted.states == plain.states + n_patterns
+
+    def test_crispr_ot_larger_than_off(self, suite):
+        assert suite["CRISPR CasOT"].states > suite["CRISPR CasOffinder"].states
+
+    def test_summarize_row(self, suite):
+        bench = suite["Hamming 18x3"]
+        row = summarize_benchmark(
+            bench.name,
+            bench.domain,
+            bench.input_desc,
+            bench.automaton,
+            bench.input_data[:2000],
+        )
+        assert row.static.states == bench.states
+        assert row.compressed_states <= bench.states
+        assert row.dynamic.mean_active_set > 0

@@ -1,0 +1,53 @@
+"""Scale-invariance of per-subgraph statistics (a documented suite claim).
+
+DESIGN.md promises that ``scale`` touches only pattern counts and input
+lengths, never per-pattern construction, so per-subgraph statistics match
+the full-size suite.  These tests pin that claim for representative
+families.  (Levenshtein per-filter sizes vary by ~1% with pattern content
+— repeated symbols merge some homogenisation splits — so those checks are
+approximate.)
+"""
+
+import pytest
+
+from repro.benchmarks import build_benchmark
+from repro.stats import compute_static_stats
+
+SCALES = (0.01, 0.03)  # above every generator's minimum-count clamp
+
+
+def stats_at(name, scale):
+    bench = build_benchmark(name, scale=scale, seed=7)
+    return compute_static_stats(bench.automaton)
+
+
+class TestPerSubgraphInvariance:
+    @pytest.mark.parametrize("name", ["Hamming 18x3", "AP PRNG 4-sided"])
+    def test_deterministic_families_exactly_invariant(self, name):
+        small, large = (stats_at(name, s) for s in SCALES)
+        assert small.avg_component_size == large.avg_component_size
+        assert small.std_component_size == large.std_component_size
+
+    @pytest.mark.parametrize("name", ["Levenshtein 24x5", "CRISPR CasOffinder"])
+    def test_content_dependent_families_nearly_invariant(self, name):
+        small, large = (stats_at(name, s) for s in SCALES)
+        assert small.avg_component_size == pytest.approx(
+            large.avg_component_size, rel=0.02
+        )
+
+    @pytest.mark.parametrize("name", ["Hamming 22x5", "Levenshtein 19x3"])
+    def test_edge_density_nearly_constant_across_scales(self, name):
+        small, large = (stats_at(name, s) for s in SCALES)
+        assert small.edges_per_node == pytest.approx(large.edges_per_node, rel=0.01)
+
+    def test_subgraph_count_scales_linearly(self):
+        small, large = (stats_at("Hamming 18x3", s) for s in SCALES)
+        assert large.subgraph_count == pytest.approx(
+            small.subgraph_count * SCALES[1] / SCALES[0], rel=0.05
+        )
+
+    def test_input_length_scales(self):
+        small = build_benchmark("Hamming 18x3", scale=SCALES[0], seed=7)
+        large = build_benchmark("Hamming 18x3", scale=SCALES[1], seed=7)
+        ratio = len(large.input_data) / len(small.input_data)
+        assert ratio == pytest.approx(SCALES[1] / SCALES[0], rel=0.05)

@@ -1,0 +1,185 @@
+"""Sequence-matching automata vs the reference support-counting kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.seqmatch import (
+    PAD,
+    count_support,
+    encode_database,
+    generate_database,
+    generate_patterns,
+    pattern_supported,
+    sequence_pattern_automaton,
+)
+from repro.engines import ReferenceEngine, VectorEngine
+
+
+def support_via_automaton(pattern, database, **kwargs):
+    automaton = sequence_pattern_automaton(pattern, **kwargs)
+    data = encode_database(database)
+    return VectorEngine(automaton).run(data).report_count
+
+
+class TestReferenceKernel:
+    def test_simple_containment(self):
+        assert pattern_supported([[1], [2]], [[1], [2]])
+        assert pattern_supported([[1], [2]], [[3, 7], [1, 5], [9], [2]])
+
+    def test_order_matters(self):
+        assert not pattern_supported([[2], [1]], [[1], [2]])
+
+    def test_subset_within_single_itemset(self):
+        assert pattern_supported([[1, 3]], [[1, 2, 3]])
+        assert not pattern_supported([[1, 3]], [[1, 2], [3]])
+
+    def test_strictly_increasing_indices(self):
+        # both pattern itemsets cannot map to the same sequence itemset
+        assert not pattern_supported([[1], [1]], [[1]])
+        assert pattern_supported([[1], [1]], [[1], [1]])
+
+
+class TestPatternAutomaton:
+    def test_single_itemset_exact(self):
+        db = [[[1, 2, 3]], [[1, 3]], [[2, 3]]]
+        assert support_via_automaton([[1, 3]], db) == 2
+
+    def test_two_itemsets_in_order(self):
+        db = [
+            [[1], [2]],  # supported
+            [[2], [1]],  # wrong order
+            [[1, 2]],  # same itemset: not a sequence of two
+            [[5], [1, 9], [4], [2, 8]],  # supported with gaps
+        ]
+        assert support_via_automaton([[1], [2]], db) == 2
+
+    def test_subset_cannot_span_itemsets(self):
+        db = [[[1, 5], [7]], [[1, 5, 7]]]
+        assert support_via_automaton([[1, 7]], db) == 1
+
+    def test_skip_items_within_itemset(self):
+        db = [[[1, 2, 3, 4, 5, 6]]]
+        assert support_via_automaton([[1, 4, 6]], db) == 1
+
+    def test_one_report_per_sequence(self):
+        # pattern occurs twice within one sequence; support counts once
+        db = [[[1], [2], [1], [2]]]
+        assert support_via_automaton([[1], [2]], db) == 1
+
+    def test_report_code_is_pattern_id(self):
+        automaton = sequence_pattern_automaton([[1]], pattern_id="P0")
+        data = encode_database([[[1]]])
+        assert ReferenceEngine(automaton).run(data).reports[0].code == "P0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequence_pattern_automaton([])
+        with pytest.raises(ValueError):
+            sequence_pattern_automaton([[]])
+        with pytest.raises(ValueError):
+            sequence_pattern_automaton([[3, 1]])
+        with pytest.raises(ValueError):
+            sequence_pattern_automaton([[0]])
+        with pytest.raises(ValueError):
+            sequence_pattern_automaton([[1, 2, 3]], pad_to_width=2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pattern=st.lists(
+            st.lists(st.integers(1, 6), min_size=1, max_size=3, unique=True).map(sorted),
+            min_size=1,
+            max_size=3,
+        ),
+        seed=st.integers(0, 50),
+    )
+    def test_support_matches_oracle_property(self, pattern, seed):
+        database = generate_database(
+            12, n_items=6, sets_per_sequence=(1, 5), items_per_set=(1, 4), seed=seed
+        )
+        expected = count_support(pattern, database)
+        assert support_via_automaton(pattern, database) == expected
+
+
+class TestCounterVariant:
+    def test_counter_fires_at_threshold(self):
+        db = [[[1], [2]]] * 5
+        automaton = sequence_pattern_automaton(
+            [[1], [2]], with_counter=True, min_support=3, pattern_id="pat"
+        )
+        result = VectorEngine(automaton).run(encode_database(db))
+        assert result.report_count == 1  # STOP counter: exactly once
+        # fires on the 3rd supported sequence's separator
+        assert result.reports[0].code == "pat"
+
+    def test_counter_not_fired_below_threshold(self):
+        db = [[[1], [2]]] * 2 + [[[9]]] * 4
+        automaton = sequence_pattern_automaton(
+            [[1], [2]], with_counter=True, min_support=3
+        )
+        assert VectorEngine(automaton).run(encode_database(db)).report_count == 0
+
+    def test_counter_reduces_reports(self):
+        db = [[[1], [2]]] * 10
+        plain = support_via_automaton([[1], [2]], db)
+        counted = sequence_pattern_automaton([[1], [2]], with_counter=True, min_support=5)
+        counted_reports = VectorEngine(counted).run(encode_database(db)).report_count
+        assert plain == 10 and counted_reports == 1
+
+
+class TestPaddedVariant:
+    def test_reports_unchanged(self):
+        database = generate_database(30, n_items=10, seed=3)
+        pattern = generate_patterns(1, p=3, w=3, n_items=10, seed=3)[0]
+        plain = support_via_automaton(pattern, database)
+        padded = support_via_automaton(pattern, database, pad_to_width=10)
+        assert plain == padded
+
+    def test_padding_adds_states(self):
+        pattern = [[1, 2], [3]]
+        plain = sequence_pattern_automaton(pattern)
+        padded = sequence_pattern_automaton(pattern, pad_to_width=10)
+        assert padded.n_states > plain.n_states
+        pad_states = [s for s in padded.stes() if PAD in s.charset]
+        assert len(pad_states) == (10 - 2) + (10 - 1)
+
+    def test_padding_inflates_active_set(self):
+        database = generate_database(50, n_items=10, seed=1)
+        pattern = generate_patterns(1, p=3, w=4, n_items=10, seed=2)[0]
+        data = encode_database(database)
+        plain = VectorEngine(sequence_pattern_automaton(pattern)).run(
+            data, record_active=True
+        )
+        padded = VectorEngine(
+            sequence_pattern_automaton(pattern, pad_to_width=10)
+        ).run(data, record_active=True)
+        assert padded.mean_active_set > plain.mean_active_set
+
+
+class TestGenerators:
+    def test_database_shape(self):
+        db = generate_database(20, n_items=10, seed=0)
+        assert len(db) == 20
+        assert all(all(s == sorted(set(s)) for s in seq) for seq in db)
+
+    def test_database_deterministic(self):
+        assert generate_database(5, seed=4) == generate_database(5, seed=4)
+
+    def test_pattern_shape(self):
+        patterns = generate_patterns(7, p=6, w=6, seed=0)
+        assert len(patterns) == 7
+        assert all(len(p) == 6 for p in patterns)
+        assert all(1 <= len(s) <= 6 for p in patterns for s in p)
+
+    def test_encode_roundtrip_structure(self):
+        db = [[[1, 2], [3]], [[4]]]
+        assert encode_database(db) == bytes([1, 2, 254, 3, 255, 4, 255])
+
+    def test_some_patterns_have_support(self):
+        db = generate_database(200, n_items=20, seed=5)
+        patterns = generate_patterns(30, p=2, w=2, n_items=20, seed=5)
+        assert any(count_support(p, db) > 0 for p in patterns)
+
+    def test_item_universe_validation(self):
+        with pytest.raises(ValueError):
+            generate_database(1, n_items=400)

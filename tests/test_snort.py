@@ -1,0 +1,204 @@
+"""Snort rule parsing, ruleset generation, and the Section V experiment."""
+
+import pytest
+
+from repro.benchmarks.snort import build_snort_automaton, section5_experiment
+from repro.errors import PatternError
+from repro.inputs.pcap import SUSPICIOUS_TOKENS, synthetic_pcap
+from repro.snort import (
+    generate_ruleset,
+    parse_rule,
+    parse_ruleset,
+    render_rule,
+    render_ruleset,
+)
+from repro.engines import VectorEngine
+
+RULE = (
+    'alert tcp any any -> any any (msg:"test rule"; '
+    'pcre:"/cmd\\.exe/i"; sid:2001;)'
+)
+
+
+class TestParser:
+    def test_basic_fields(self):
+        rule = parse_rule(RULE)
+        assert rule.sid == 2001
+        assert rule.action == "alert"
+        assert rule.proto == "tcp"
+        assert rule.msg == "test rule"
+        assert rule.pcre == r"cmd\.exe"
+        assert rule.pcre_flags == "i"
+
+    def test_modifier_detection(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (pcre:"/foo/iU"; sid:1;)'
+        )
+        assert rule.has_snort_modifiers
+        assert rule.snort_modifiers == {"U"}
+        assert rule.standard_flags == "i"
+        assert not rule.whole_stream_safe()
+
+    def test_isdataat_detection(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (pcre:"/foo/"; isdataat:50,relative; sid:2;)'
+        )
+        assert rule.has_isdataat
+        assert not rule.whole_stream_safe()
+
+    def test_plain_rule_is_safe(self):
+        assert parse_rule(RULE).whole_stream_safe()
+
+    def test_semicolon_inside_quotes(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (msg:"a;b"; pcre:"/x/"; sid:3;)'
+        )
+        assert rule.msg == "a;b"
+
+    def test_errors(self):
+        with pytest.raises(PatternError):
+            parse_rule("not a rule at all")
+        with pytest.raises(PatternError):
+            parse_rule('alert tcp any any -> any any (pcre:"/x/";)')  # no sid
+        with pytest.raises(PatternError):
+            parse_rule("alert tcp any any -> any any (sid:5;)")  # no pcre
+
+    def test_ruleset_roundtrip(self):
+        rules = generate_ruleset(40, seed=1)
+        parsed = parse_ruleset(render_ruleset(rules))
+        assert parsed == rules
+
+
+class TestGenerator:
+    def test_composition(self):
+        rules = generate_ruleset(200, seed=0)
+        assert len(rules) == 200
+        modifiers = [r for r in rules if r.has_snort_modifiers]
+        isdataat = [r for r in rules if r.has_isdataat]
+        assert len(modifiers) == 70  # 35%
+        assert len(isdataat) == 3
+        assert len(set(r.sid for r in rules)) == 200
+
+    def test_deterministic(self):
+        assert generate_ruleset(30, seed=5) == generate_ruleset(30, seed=5)
+
+
+class TestBenchmarkBuild:
+    def test_exclusions_shrink_ruleset(self):
+        rules = generate_ruleset(150, seed=2)
+        _, all_included, _ = build_snort_automaton(
+            rules, exclude_modifier_rules=False, exclude_isdataat_rules=False
+        )
+        _, filtered, _ = build_snort_automaton(rules)
+        assert len(filtered) < len(all_included)
+        assert all(r.whole_stream_safe() for r in filtered)
+
+    def test_unsupported_rules_rejected_not_raised(self):
+        rules = generate_ruleset(150, seed=2)
+        _, included, rejected = build_snort_automaton(
+            rules, exclude_modifier_rules=False, exclude_isdataat_rules=False
+        )
+        assert rejected  # the generator plants back-reference rules
+        included_sids = {r.sid for r in included}
+        assert all(code not in included_sids for code, _ in rejected)
+
+    def test_benchmark_detects_planted_tokens(self):
+        rules = generate_ruleset(150, seed=2)
+        automaton, _, _ = build_snort_automaton(rules)
+        data = synthetic_pcap(300, seed=7)
+        assert any(token in data for token in SUSPICIOUS_TOKENS)
+        result = VectorEngine(automaton).run(data)
+        assert result.report_count > 0
+
+
+class TestSection5Experiment:
+    def test_rate_reduction_shape(self):
+        """The paper's Section V shape: dropping modifier rules cuts the
+        report rate by several x, dropping isdataat rules cuts it again."""
+        rules = generate_ruleset(150, seed=4)
+        data = synthetic_pcap(200, seed=11)
+        stages = section5_experiment(rules, data)
+        assert [s.name for s in stages][0] == "all rules"
+        full, no_mod, final = (s.reports_per_symbol for s in stages)
+        assert full > 3 * no_mod  # paper: ~5x
+        assert no_mod > 1.5 * final  # paper: ~2x
+        # unfiltered benchmark reports on the vast majority of bytes
+        assert stages[0].reporting_byte_fraction > 0.8
+        assert stages[2].reporting_byte_fraction < 0.2
+
+    def test_rule_counts_monotone(self):
+        rules = generate_ruleset(100, seed=6)
+        data = synthetic_pcap(50, seed=1)
+        stages = section5_experiment(rules, data)
+        assert stages[0].n_rules > stages[1].n_rules > stages[2].n_rules
+
+
+class TestContentOptions:
+    def test_decode_plain(self):
+        from repro.snort.rules import decode_content
+
+        assert decode_content("GET /index") == b"GET /index"
+
+    def test_decode_hex_spans(self):
+        from repro.snort.rules import decode_content
+
+        assert decode_content("GET |0d 0a|done") == b"GET \r\ndone"
+        assert decode_content("|de ad be ef|") == b"\xde\xad\xbe\xef"
+
+    def test_decode_escapes(self):
+        from repro.snort.rules import decode_content
+
+        assert decode_content(r"a\"b") == b'a"b'
+
+    def test_decode_errors(self):
+        from repro.snort.rules import decode_content
+
+        with pytest.raises(PatternError):
+            decode_content("|0d")
+        with pytest.raises(PatternError):
+            decode_content("|zz|")
+
+    def test_rule_contents_parsed(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"GET |0d 0a|"; '
+            'content:"Host"; pcre:"/x/"; sid:9;)'
+        )
+        assert rule.contents == (b"GET \r\n", b"Host")
+
+    def test_generator_emits_content_rules(self):
+        rules = generate_ruleset(300, seed=1)
+        with_content = [r for r in rules if r.contents]
+        assert len(with_content) > 5
+        # content rules round-trip through the text format
+        reparsed = parse_ruleset(render_ruleset(with_content))
+        assert [r.contents for r in reparsed] == [r.contents for r in with_content]
+
+
+class TestFullKernelEvaluation:
+    def test_rule_requires_both_pcre_and_content(self):
+        from repro.benchmarks.snort import evaluate_rules
+
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"MARKER"; '
+            'pcre:"/attack[0-9]+/"; sid:50;)'
+        )
+        packets = [
+            b"an attack99 with MARKER present",  # both -> alert
+            b"an attack99 without the extra",  # pcre only
+            b"MARKER but nothing else",  # content only
+        ]
+        alerts = evaluate_rules([rule], packets)
+        assert alerts == {50: [0]}
+
+    def test_multiple_rules_and_packets(self):
+        from repro.benchmarks.snort import evaluate_rules
+        from repro.inputs.pcap import synthetic_packets
+
+        rules = generate_ruleset(120, seed=9)
+        packets = synthetic_packets(80, seed=4)
+        alerts = evaluate_rules(rules, packets)
+        # protocol rules fire on HTTP packets
+        assert alerts
+        assert all(
+            0 <= i < len(packets) for hits in alerts.values() for i in hits
+        )

@@ -1,0 +1,62 @@
+"""Spatial architecture model tests."""
+
+import pytest
+
+from repro.engines import KINTEX_KU060, MICRON_D480, SpatialModel
+from repro.regex import compile_regex
+
+
+class TestCapacity:
+    def test_fits_small_automaton(self):
+        automaton = compile_regex("abc")
+        assert MICRON_D480.fits(automaton)
+        assert MICRON_D480.chips_required(automaton) == 1
+
+    def test_chips_required_for_large(self):
+        assert MICRON_D480.chips_required(200_000) == 5
+        assert KINTEX_KU060.chips_required(200_000) == 1
+
+    def test_routing_efficiency_reduces_capacity(self):
+        assert MICRON_D480.effective_capacity < MICRON_D480.state_capacity
+        assert KINTEX_KU060.effective_capacity == KINTEX_KU060.state_capacity
+
+    def test_utilization(self):
+        assert MICRON_D480.utilization(49_152) == pytest.approx(1.0)
+        assert MICRON_D480.utilization(24_576) == pytest.approx(0.5)
+
+
+class TestThroughput:
+    def test_base_throughput(self):
+        model = SpatialModel("test", state_capacity=1000, clock_hz=100e6)
+        assert model.throughput_bytes_per_sec(100) == pytest.approx(100e6)
+
+    def test_partitioning_divides_throughput(self):
+        model = SpatialModel("test", state_capacity=1000, clock_hz=100e6)
+        assert model.throughput_bytes_per_sec(2500) == pytest.approx(100e6 / 3)
+
+    def test_striding_multiplies_throughput(self):
+        model = SpatialModel(
+            "test", state_capacity=1000, clock_hz=100e6, symbols_per_cycle=2
+        )
+        assert model.throughput_bytes_per_sec(10) == pytest.approx(200e6)
+
+    def test_fmax_derating_monotone(self):
+        model = SpatialModel(
+            "fpga",
+            state_capacity=100_000,
+            clock_hz=250e6,
+            fmax_derate_per_doubling=0.1,
+        )
+        small = model.clock_for(1_000)
+        large = model.clock_for(90_000)
+        assert small == pytest.approx(250e6)
+        assert large < small
+
+    def test_runtime(self):
+        model = SpatialModel("test", state_capacity=1000, clock_hz=1e6)
+        assert model.runtime_seconds(10, 2_000_000) == pytest.approx(2.0)
+
+    def test_d480_vs_fpga_shape(self):
+        """Section II: modern FPGAs beat the D480 on capacity and clock."""
+        assert KINTEX_KU060.state_capacity > MICRON_D480.state_capacity
+        assert KINTEX_KU060.clock_hz > MICRON_D480.clock_hz

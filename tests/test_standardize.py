@@ -1,0 +1,104 @@
+"""Spatial standardization (ANMLZoo methodology) and its damage."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.randomforest import classify_with_automaton, train_variant, VARIANTS
+from repro.benchmarks.standardize import cut_down, inflate
+from repro.engines import VectorEngine
+from repro.regex import compile_ruleset
+from repro.stats import measure_dynamic
+
+
+def word_ruleset(n=20):
+    # zero-padded so every component has identical size
+    automaton, _ = compile_ruleset([(i, f"w{i:02d}x{i:02d}") for i in range(n)])
+    return automaton
+
+
+class TestCutDown:
+    def test_fits_budget_with_whole_components(self):
+        automaton = word_ruleset(20)
+        component_size = automaton.n_states // 20
+        result = cut_down(automaton, capacity=7 * component_size)
+        assert result.states_after <= 7 * component_size
+        assert result.components_after <= 7
+        # kept components are intact
+        sizes = [len(c) for c in result.automaton.connected_components()]
+        assert all(size == component_size for size in sizes)
+
+    def test_reports_are_a_subset(self):
+        automaton = word_ruleset(10)
+        result = cut_down(automaton, capacity=automaton.n_states // 2, seed=1)
+        data = b" ".join(f"w{i:02d}x{i:02d}".encode() for i in range(10))
+        full = {
+            (r.offset, r.code) for r in VectorEngine(automaton).run(data).reports
+        }
+        trimmed = {
+            (r.offset, r.code)
+            for r in VectorEngine(result.automaton).run(data).reports
+        }
+        assert trimmed < full  # strictly fewer results: the kernel changed
+
+    def test_size_ratio(self):
+        automaton = word_ruleset(10)
+        result = cut_down(automaton, capacity=automaton.n_states)
+        assert result.size_ratio == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cut_down(word_ruleset(2), 0)
+
+
+class TestInflate:
+    def test_fills_toward_capacity(self):
+        automaton = word_ruleset(5)
+        result = inflate(automaton, capacity=3 * automaton.n_states, seed=2)
+        assert result.states_after > 2 * result.states_before
+        assert result.states_after <= 3 * automaton.n_states
+
+    def test_synthetic_components_do_not_report(self):
+        automaton = word_ruleset(5)
+        result = inflate(automaton, capacity=3 * automaton.n_states, seed=2)
+        data = b" ".join(f"w{i:02d}x{i:02d}".encode() for i in range(5))
+        full = [
+            (r.offset, r.code) for r in VectorEngine(automaton).run(data).reports
+        ]
+        padded = [
+            (r.offset, r.code)
+            for r in VectorEngine(result.automaton).run(data).reports
+        ]
+        assert padded == full  # kernel output unchanged...
+
+    def test_but_activity_increases(self):
+        """...while spatial load and activity grow: the Section II-D
+        distortion (inflated Protomata demotivates small-ruleset designs)."""
+        automaton = word_ruleset(5)
+        result = inflate(automaton, capacity=4 * automaton.n_states, seed=2)
+        data = (b"w01x01 " * 50)
+        before = measure_dynamic(automaton, data)
+        after = measure_dynamic(result.automaton, data)
+        assert after.mean_active_set > 1.5 * before.mean_active_set
+
+    def test_over_capacity_rejected(self):
+        automaton = word_ruleset(5)
+        with pytest.raises(ValueError):
+            inflate(automaton, capacity=automaton.n_states - 1)
+
+
+class TestSection8Damage:
+    def test_cut_down_forest_misclassifies(self):
+        """The Section VIII argument, quantified: trimming the Random
+        Forest automaton to a capacity budget changes its predictions, so
+        a cut-down benchmark cannot be compared against the full model."""
+        trained = train_variant(
+            VARIANTS["B"], n_train=400, n_test=150, seed=2, scale=0.1
+        )
+        x = trained.test_x[:80]
+        full_pred = classify_with_automaton(trained.automaton, x, n_classes=10)
+        result = cut_down(trained.automaton, trained.automaton.n_states // 3, seed=3)
+        cut_pred = classify_with_automaton(result.automaton, x, n_classes=10)
+        assert (cut_pred != full_pred).any()
+        full_acc = (full_pred == trained.test_y[:80]).mean()
+        cut_acc = (cut_pred == trained.test_y[:80]).mean()
+        assert cut_acc < full_acc

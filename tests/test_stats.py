@@ -1,0 +1,88 @@
+"""Statistics layer tests: static, dynamic, and table rendering."""
+
+import pytest
+
+from repro.core import Automaton, CharSet, StartMode
+from repro.regex import compile_ruleset
+from repro.stats import (
+    compute_static_stats,
+    format_table,
+    measure_dynamic,
+    summarize_benchmark,
+)
+
+
+@pytest.fixture()
+def two_pattern_automaton():
+    automaton, _ = compile_ruleset([(1, "abc"), (2, "abd")])
+    return automaton
+
+
+class TestStaticStats:
+    def test_counts(self, two_pattern_automaton):
+        stats = compute_static_stats(two_pattern_automaton)
+        assert stats.states == 6
+        assert stats.edges == 4
+        assert stats.subgraph_count == 2
+        assert stats.avg_component_size == 3.0
+        assert stats.std_component_size == 0.0
+        assert stats.edges_per_node == pytest.approx(4 / 6)
+
+    def test_empty_automaton(self):
+        stats = compute_static_stats(Automaton())
+        assert stats.states == 0
+        assert stats.edges_per_node == 0.0
+        assert stats.subgraph_count == 0
+
+    def test_component_size_variance(self):
+        automaton, _ = compile_ruleset([(1, "ab"), (2, "wxyz")])
+        stats = compute_static_stats(automaton)
+        assert stats.avg_component_size == 3.0
+        assert stats.std_component_size == 1.0
+
+    def test_start_and_report_counts(self, two_pattern_automaton):
+        stats = compute_static_stats(two_pattern_automaton)
+        assert stats.start_states == 2
+        assert stats.reporting_states == 2
+
+
+class TestDynamicStats:
+    def test_active_set_and_reports(self, two_pattern_automaton):
+        stats = measure_dynamic(two_pattern_automaton, b"abcabd")
+        assert stats.symbols == 6
+        assert stats.report_count == 2
+        assert stats.reporting_symbols == 2
+        assert stats.mean_active_set > 0
+
+    def test_rates(self, two_pattern_automaton):
+        stats = measure_dynamic(two_pattern_automaton, b"abc" + b"x" * 97)
+        assert stats.reports_per_symbol == pytest.approx(0.01)
+        assert stats.reports_per_million == pytest.approx(10_000)
+        assert stats.reporting_byte_fraction == pytest.approx(0.01)
+
+    def test_empty_input(self, two_pattern_automaton):
+        stats = measure_dynamic(two_pattern_automaton, b"")
+        assert stats.reports_per_symbol == 0.0
+        assert stats.reporting_byte_fraction == 0.0
+
+
+class TestTableRendering:
+    def test_row_and_formatting(self, two_pattern_automaton):
+        row = summarize_benchmark(
+            "Demo", "Testing", "bytes", two_pattern_automaton, b"abcabd"
+        )
+        # prefix merge shares 'ab': 6 -> 4 states
+        assert row.compressed_states == 4
+        assert row.compression_factor == pytest.approx(1 - 4 / 6)
+        text = format_table([row])
+        assert "Demo" in text
+        assert "Benchmark" in text.splitlines()[0]
+
+    def test_incompressible_row(self, two_pattern_automaton):
+        row = summarize_benchmark(
+            "Demo", "Testing", "bytes", two_pattern_automaton, None, compress=False
+        )
+        assert row.compressed_states is None
+        assert row.compression_factor is None
+        assert row.dynamic is None
+        assert "NA" in format_table([row])

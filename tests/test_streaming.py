@@ -1,0 +1,91 @@
+"""Streaming execution tests: chunk boundaries must be invisible."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Automaton, CharSet, CounterMode, StartMode
+from repro.engines import LazyDFAEngine, ReferenceEngine, VectorEngine
+from repro.regex import compile_regex
+
+ENGINES = [ReferenceEngine, VectorEngine, LazyDFAEngine]
+COUNTER_ENGINES = [ReferenceEngine, VectorEngine]
+
+
+def chunked_reports(engine, data, cuts, record_active=False):
+    session = engine.stream(record_active=record_active)
+    reports = []
+    previous = 0
+    for cut in sorted(cuts) + [len(data)]:
+        cut = min(max(cut, previous), len(data))
+        reports.extend(session.feed(data[previous:cut]))
+        previous = cut
+    return reports, session
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestChunkInvariance:
+    def test_match_across_chunk_boundary(self, engine_cls):
+        automaton = compile_regex("abcd", report_code="r")
+        engine = engine_cls(automaton)
+        session = engine.stream()
+        assert session.feed(b"xxab") == []
+        hits = session.feed(b"cdyy")
+        assert [r.offset for r in hits] == [5]
+
+    def test_anchored_only_matches_stream_start(self, engine_cls):
+        automaton = compile_regex("^ab")
+        engine = engine_cls(automaton)
+        session = engine.stream()
+        assert len(session.feed(b"ab")) == 1
+        assert session.feed(b"ab") == []  # offset 2: not the stream start
+
+    def test_offsets_are_stream_global(self, engine_cls):
+        automaton = compile_regex("z")
+        engine = engine_cls(automaton)
+        session = engine.stream()
+        session.feed(b"aaaa")
+        assert [r.offset for r in session.feed(b"z")] == [4]
+        assert session.offset == 5
+
+    def test_active_recording_spans_chunks(self, engine_cls):
+        automaton = compile_regex("ab")
+        engine = engine_cls(automaton)
+        reports, session = chunked_reports(engine, b"aabb", [2], record_active=True)
+        assert len(session.active_per_cycle) == 4
+
+    def test_empty_feeds_are_noops(self, engine_cls):
+        automaton = compile_regex("ab")
+        engine = engine_cls(automaton)
+        session = engine.stream()
+        assert session.feed(b"") == []
+        session.feed(b"a")
+        assert session.feed(b"") == []
+        assert [r.offset for r in session.feed(b"b")] == [1]
+
+
+@pytest.mark.parametrize("engine_cls", COUNTER_ENGINES)
+class TestCounterStreaming:
+    def test_counter_state_persists(self, engine_cls):
+        a = Automaton()
+        a.add_ste("s", CharSet.from_chars("a"), start=StartMode.ALL_INPUT)
+        a.add_counter("c", 3, mode=CounterMode.STOP, report=True, report_code="x")
+        a.add_edge("s", "c")
+        session = engine_cls(a).stream()
+        assert session.feed(b"a") == []
+        assert session.feed(b"a") == []
+        assert [r.offset for r in session.feed(b"a")] == [2]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    pattern=st.sampled_from(["ab", "a+b", "[ab]{3}", "a.?b"]),
+    data=st.binary(max_size=30).map(lambda raw: bytes(b"ab"[x % 2] for x in raw)),
+    cuts=st.lists(st.integers(0, 30), max_size=4),
+    engine_index=st.integers(0, 2),
+)
+def test_any_chunking_equals_run_property(pattern, data, cuts, engine_index):
+    engine = ENGINES[engine_index](compile_regex(pattern))
+    whole = engine.run(data).reports
+    chunked, _ = chunked_reports(engine, data, cuts)
+    assert sorted(chunked) == whole

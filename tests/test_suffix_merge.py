@@ -1,0 +1,95 @@
+"""Suffix-merge and bidirectional-merge optimization tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Automaton, CharSet, StartMode
+from repro.core.extended import exact_run_automaton
+from repro.engines import ReferenceEngine
+from repro.regex import compile_ruleset
+from repro.transforms import merge_common_prefixes
+from repro.transforms.suffix_merge import merge_bidirectional, merge_common_suffixes
+
+
+def report_sets(automaton, data):
+    return sorted(
+        {(r.offset, repr(r.code)) for r in ReferenceEngine(automaton).run(data).reports}
+    )
+
+
+class TestSuffixMerge:
+    def test_shared_suffix_collapses(self):
+        automaton, _ = compile_ruleset([(1, "xabc"), (1, "yabc")])
+        merged, stats = merge_common_suffixes(automaton)
+        # 'abc' tails share (same code); the x/y heads stay distinct
+        assert merged.n_states == 5
+        assert stats.states_before == 8
+
+    def test_distinct_codes_keep_suffixes_apart(self):
+        automaton, _ = compile_ruleset([(1, "xab"), (2, "yab")])
+        merged, _ = merge_common_suffixes(automaton)
+        # reporting 'b' states carry different codes: no merge there, and
+        # therefore none upstream either
+        assert merged.n_states == 6
+
+    def test_semantics_preserved(self):
+        automaton, _ = compile_ruleset([(5, "cart"), (5, "dart"), (6, "part")])
+        merged, stats = merge_common_suffixes(automaton)
+        assert stats.states_after < stats.states_before
+        data = b"a cart a dart a part"
+        assert report_sets(merged, data) == report_sets(automaton, data)
+
+    def test_counters_not_merged(self):
+        a = exact_run_automaton(CharSet.from_chars("a"), 3)
+        b = Automaton.union([a, exact_run_automaton(CharSet.from_chars("a"), 3)])
+        merged, _ = merge_common_suffixes(b)
+        assert sum(1 for _ in merged.counters()) == 2
+        # reset wiring survives
+        assert len(list(merged.reset_edges())) == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        patterns=st.lists(
+            st.text(alphabet="abc", min_size=1, max_size=5), min_size=1, max_size=6
+        ),
+        data=st.binary(max_size=25).map(lambda raw: bytes(b"abc"[x % 3] for x in raw)),
+        same_code=st.booleans(),
+    )
+    def test_suffix_merge_preserves_report_sets(self, patterns, data, same_code):
+        rules = [(0 if same_code else i, p) for i, p in enumerate(patterns)]
+        automaton, _ = compile_ruleset(rules)
+        merged, stats = merge_common_suffixes(automaton)
+        assert stats.states_after <= stats.states_before
+        assert report_sets(merged, data) == report_sets(automaton, data)
+
+
+class TestBidirectional:
+    def test_beats_either_single_pass(self):
+        # shared prefixes AND suffixes: 'ab...yz' family
+        rules = [(9, "abMyz"), (9, "abNyz"), (9, "abOyz")]
+        automaton, _ = compile_ruleset(rules)
+        prefix_only, _ = merge_common_prefixes(automaton)
+        suffix_only, _ = merge_common_suffixes(automaton)
+        both, stats = merge_bidirectional(automaton)
+        assert both.n_states < prefix_only.n_states
+        assert both.n_states < suffix_only.n_states
+        assert both.n_states == 7  # a,b shared; M,N,O; y,z shared
+
+    def test_fixpoint_reached(self):
+        automaton, _ = compile_ruleset([(1, "aaaa"), (1, "aaab")])
+        merged, _ = merge_bidirectional(automaton)
+        again, stats = merge_bidirectional(merged)
+        assert stats.states_after == stats.states_before
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        patterns=st.lists(
+            st.text(alphabet="ab", min_size=1, max_size=5), min_size=1, max_size=5
+        ),
+        data=st.binary(max_size=25).map(lambda raw: bytes(b"ab"[x % 2] for x in raw)),
+    )
+    def test_bidirectional_preserves_report_sets(self, patterns, data):
+        automaton, _ = compile_ruleset(list(enumerate(patterns)))
+        merged, _ = merge_bidirectional(automaton)
+        assert report_sets(merged, data) == report_sets(automaton, data)

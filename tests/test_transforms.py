@@ -1,0 +1,239 @@
+"""Tests for prefix-merge, striding, and widening transformations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Automaton, CharSet, StartMode
+from repro.engines import ReferenceEngine
+from repro.errors import AutomatonError
+from repro.regex import compile_regex, compile_ruleset
+from repro.transforms import merge_common_prefixes, pack_bits, stride, widen
+
+
+def report_stream(automaton, data):
+    """(offset, code) multiset, the semantic fingerprint of a run."""
+    return sorted(
+        (r.offset, repr(r.code)) for r in ReferenceEngine(automaton).run(data).reports
+    )
+
+
+class TestPrefixMerge:
+    def test_shared_prefix_collapses(self):
+        automaton, _ = compile_ruleset([(1, "abcx"), (2, "abcy")])
+        merged, stats = merge_common_prefixes(automaton)
+        # 'a','b','c' shared once; 'x','y' distinct: 8 -> 5 states.
+        assert merged.n_states == 5
+        assert stats.states_before == 8
+        assert stats.compression_factor == pytest.approx(3 / 8)
+
+    def test_disjoint_patterns_unchanged(self):
+        automaton, _ = compile_ruleset([(1, "abc"), (2, "xyz")])
+        merged, stats = merge_common_prefixes(automaton)
+        assert merged.n_states == 6
+        assert stats.compression_factor == 0.0
+
+    def test_reporting_states_with_distinct_codes_not_merged(self):
+        automaton, _ = compile_ruleset([(1, "ab"), (2, "ab")])
+        merged, _ = merge_common_prefixes(automaton)
+        # prefixes merge but the two reporting 'b' states carry different
+        # rule ids and must stay separate
+        assert merged.n_states == 3
+        data = b"zab"
+        assert report_stream(merged, data) == report_stream(automaton, data)
+
+    def test_semantics_preserved_on_literal_set(self):
+        rules = [(i, p) for i, p in enumerate(["cat", "car", "cart", "dog", "do"])]
+        automaton, _ = compile_ruleset(rules)
+        merged, stats = merge_common_prefixes(automaton)
+        assert stats.states_after < stats.states_before
+        data = b"a cart chased the dog into a car"
+        assert report_stream(merged, data) == report_stream(automaton, data)
+
+    def test_counters_never_merged(self):
+        a = Automaton()
+        a.add_ste("s", CharSet.from_chars("a"), start=StartMode.ALL_INPUT)
+        a.add_counter("c1", 2, report=True, report_code="x")
+        a.add_counter("c2", 2, report=True, report_code="x")
+        a.add_edge("s", "c1")
+        a.add_edge("s", "c2")
+        merged, _ = merge_common_prefixes(a)
+        assert sum(1 for _ in merged.counters()) == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        patterns=st.lists(
+            st.text(alphabet="abc", min_size=1, max_size=5), min_size=1, max_size=6
+        ),
+        data=st.binary(max_size=30).map(
+            lambda raw: bytes(b"abc"[b % 3] for b in raw)
+        ),
+    )
+    def test_merge_preserves_reports_property(self, patterns, data):
+        automaton, _ = compile_ruleset(list(enumerate(patterns)))
+        merged, stats = merge_common_prefixes(automaton)
+        assert stats.states_after <= stats.states_before
+        assert report_stream(merged, data) == report_stream(automaton, data)
+
+
+def bit_literal(bits, *, anchored=False, code="hit"):
+    """Bit-level automaton matching an exact bit string anywhere (or anchored)."""
+    a = Automaton("bits")
+    prev = None
+    for i, b in enumerate(bits):
+        start = (
+            (StartMode.START_OF_DATA if anchored else StartMode.ALL_INPUT)
+            if i == 0
+            else StartMode.NONE
+        )
+        a.add_ste(
+            f"b{i}",
+            CharSet.single(b),
+            start=start,
+            report=i == len(bits) - 1,
+            report_code=code,
+        )
+        if prev is not None:
+            a.add_edge(prev, f"b{i}")
+        prev = f"b{i}"
+    return a
+
+
+def to_bits(data: bytes) -> bytes:
+    return bytes((byte >> (7 - i)) & 1 for byte in data for i in range(8))
+
+
+class TestPackBits:
+    def test_msb_first(self):
+        assert pack_bits(bytes([1, 0, 0, 0, 0, 0, 0, 1])) == b"\x81"
+
+    def test_partial_block_dropped(self):
+        assert pack_bits(bytes([1] * 10)) == b"\xff"
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            pack_bits(b"\x02")
+
+    def test_roundtrip_with_to_bits(self):
+        data = b"automata"
+        assert pack_bits(to_bits(data)) == data
+
+
+class TestStriding:
+    def test_byte_aligned_pattern_exact(self):
+        # bit pattern of the byte 0xAB, anchored: report at byte 0.
+        bits = to_bits(b"\xab")
+        bit_a = bit_literal(bits, anchored=True)
+        byte_a = stride(bit_a, 8)
+        assert report_stream(byte_a, b"\xab") == [(0, "'hit'")]
+        assert report_stream(byte_a, b"\xac") == []
+
+    def test_multibyte_pattern(self):
+        bits = to_bits(b"PK")
+        byte_a = stride(bit_literal(bits), 8)
+        stream = b"xxPKyyPK"
+        assert [o for o, _ in report_stream(byte_a, stream)] == [3, 7]
+
+    def test_bitfield_pattern(self):
+        # First 4 bits fixed 1010, last 4 bits wildcard: matches 0xA0-0xAF.
+        a = Automaton()
+        prev = None
+        for i, cs in enumerate(
+            [CharSet.single(1), CharSet.single(0), CharSet.single(1), CharSet.single(0)]
+            + [CharSet.from_ranges([(0, 1)])] * 4
+        ):
+            start = StartMode.START_OF_DATA if i == 0 else StartMode.NONE
+            a.add_ste(f"s{i}", cs, start=start, report=i == 7, report_code="m")
+            if prev:
+                a.add_edge(prev, f"s{i}")
+            prev = f"s{i}"
+        strided = stride(a, 8)
+        for byte in range(256):
+            expected = [(0, "'m'")] if 0xA0 <= byte <= 0xAF else []
+            assert report_stream(strided, bytes([byte])) == expected
+
+    def test_stride_factor_validation(self):
+        with pytest.raises(ValueError):
+            stride(bit_literal(b"\x01\x00"), 0)
+        byte_level = compile_regex("ab")
+        with pytest.raises(AutomatonError):
+            stride(byte_level, 8)  # 8-bit alphabet cannot be 8-strided
+
+    def test_stride_2_on_bits(self):
+        bit_a = bit_literal(bytes([1, 1, 0, 1]), anchored=True)
+        strided = stride(bit_a, 2)
+        # blocks: 11 -> 3, 01 -> 1
+        assert report_stream(strided, bytes([3, 1])) == [(1, "'hit'")]
+        assert report_stream(strided, bytes([3, 2])) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pattern=st.lists(st.integers(0, 1), min_size=1, max_size=12).map(bytes),
+        data=st.binary(min_size=0, max_size=6),
+        anchored=st.booleans(),
+    )
+    def test_stride_equivalence_property(self, pattern, data, anchored):
+        """Strided byte automaton reports in exactly the bytes where the
+        bit automaton reports (offset coarsened to byte granularity)."""
+        bit_a = bit_literal(pattern, anchored=anchored)
+        byte_a = stride(bit_a, 8)
+        bits = to_bits(data)
+        bit_offsets = {
+            r.offset // 8 for r in ReferenceEngine(bit_a).run(bits).reports
+        }
+        byte_offsets = {
+            r.offset for r in ReferenceEngine(byte_a).run(data).reports
+        }
+        assert byte_offsets == bit_offsets
+
+
+class TestWidening:
+    @staticmethod
+    def interleave(data: bytes, pad: int = 0) -> bytes:
+        out = bytearray()
+        for byte in data:
+            out.append(byte)
+            out.append(pad)
+        return bytes(out)
+
+    def test_simple_literal(self):
+        wide = widen(compile_regex("ab", report_code="r"))
+        assert report_stream(wide, self.interleave(b"xab")) == [(5, "'r'")]
+
+    def test_not_matched_without_padding(self):
+        wide = widen(compile_regex("ab", report_code="r"))
+        assert report_stream(wide, b"ab") == []
+
+    def test_state_count_doubles(self):
+        narrow = compile_regex("abc")
+        assert widen(narrow).n_states == 2 * narrow.n_states
+
+    def test_custom_pad_symbol(self):
+        wide = widen(compile_regex("ab", report_code="r"), pad_symbol=0xFF)
+        assert report_stream(wide, self.interleave(b"ab", 0xFF)) == [(3, "'r'")]
+
+    def test_counter_rejected(self):
+        a = Automaton()
+        a.add_ste("s", CharSet.from_chars("a"), start=StartMode.ALL_INPUT)
+        a.add_counter("c", 2)
+        a.add_edge("s", "c")
+        with pytest.raises(AutomatonError):
+            widen(a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pattern=st.text(alphabet="abc", min_size=1, max_size=6),
+        data=st.binary(max_size=20).map(lambda raw: bytes(b"abc"[b % 3] for b in raw)),
+    )
+    def test_widening_equivalence_property(self, pattern, data):
+        narrow = compile_regex(pattern, report_code="r")
+        wide = widen(narrow)
+        narrow_offsets = [
+            r.offset for r in ReferenceEngine(narrow).run(data).reports
+        ]
+        wide_offsets = [
+            r.offset for r in ReferenceEngine(wide).run(self.interleave(data)).reports
+        ]
+        assert wide_offsets == [2 * o + 1 for o in narrow_offsets]

@@ -1,0 +1,70 @@
+"""Suite self-verification tests (and that it catches real breakage)."""
+
+import pytest
+
+from repro.benchmarks import BENCHMARK_NAMES, build_benchmark
+from repro.benchmarks.spec import Benchmark
+from repro.benchmarks.verify import verify_benchmark
+from repro.core import Automaton, CharSet, StartMode
+
+
+class TestHealthySuite:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_benchmark_verifies_clean(self, name):
+        bench = build_benchmark(name, scale=0.004, seed=11)
+        assert verify_benchmark(bench) == []
+
+
+class TestDetectsBreakage:
+    def test_empty_automaton_flagged(self):
+        bench = Benchmark(
+            name="Broken",
+            domain="test",
+            input_desc="x",
+            automaton=Automaton(),
+            input_data=b"abc",
+        )
+        problems = verify_benchmark(bench)
+        assert any("empty" in p for p in problems)
+
+    def test_missing_planted_virus_flagged(self):
+        bench = build_benchmark("ClamAV", scale=0.004, seed=11)
+        bench.meta["planted"] = ["Not.A.Real.Signature"]
+        problems = verify_benchmark(bench)
+        assert any("not detected" in p for p in problems)
+
+    def test_dead_input_flagged(self):
+        bench = build_benchmark("Protomata", scale=0.004, seed=11)
+        bench.input_data = b"\x00" * 500  # not amino acids: nothing activates
+        problems = verify_benchmark(bench)
+        assert any("never activates" in p for p in problems)
+
+    def test_prng_report_miscount_flagged(self):
+        bench = build_benchmark("AP PRNG 4-sided", scale=0.004, seed=11)
+        # break a chain: remove one reporting state
+        reporter = next(e.ident for e in bench.automaton.reporting_elements())
+        bench.automaton.remove_element(reporter)
+        problems = verify_benchmark(bench)
+        assert any("faces" in p for p in problems)
+
+    def test_invalid_structure_flagged(self):
+        a = Automaton()
+        a.add_ste("orphan", CharSet.from_chars("a"), report=True)
+        bench = Benchmark(
+            name="Structurally broken",
+            domain="test",
+            input_desc="x",
+            automaton=a,
+            input_data=b"abc",
+        )
+        problems = verify_benchmark(bench)
+        assert any("validation" in p for p in problems)
+
+    def test_hamming_rate_breakage_flagged(self):
+        bench = build_benchmark("Hamming 18x3", scale=0.004, seed=11)
+        # lie about the parameters: claim d=10 filters (which would match
+        # constantly) while the automaton only matches at d<=3
+        bench.meta["l"] = 18
+        bench.meta["d"] = 14
+        problems = verify_benchmark(bench)
+        assert problems

@@ -1,0 +1,167 @@
+"""YARA hex-string conversion and rule parsing tests (Section IX-A)."""
+
+import pytest
+
+from repro.engines import ReferenceEngine
+from repro.errors import PatternError
+from repro.regex import compile_regex
+from repro.yara import (
+    evaluate_condition,
+    hex_string_to_regex,
+    nibble_charset_regex,
+    parse_yara,
+    tokenize_hex_string,
+)
+
+
+def matches(regex: str, data: bytes) -> bool:
+    automaton = compile_regex(regex)
+    return ReferenceEngine(automaton).count_reports(data) > 0
+
+
+class TestNibbleCharsets:
+    def test_exact_byte(self):
+        assert nibble_charset_regex("9", "c") == r"\x9c"
+
+    def test_full_wildcard(self):
+        assert nibble_charset_regex("?", "?") == r"[\x00-\xff]"
+
+    def test_high_nibble_fixed(self):
+        regex = nibble_charset_regex("a", "?")
+        for value in range(0xA0, 0xB0):
+            assert matches(regex, bytes([value]))
+        assert not matches(regex, b"\x9f")
+        assert not matches(regex, b"\xb0")
+
+    def test_low_nibble_fixed(self):
+        regex = nibble_charset_regex("?", "a")
+        for high in range(16):
+            assert matches(regex, bytes([(high << 4) | 0x0A]))
+        assert not matches(regex, b"\x0b")
+
+
+class TestHexStringTokenizer:
+    def test_bytes_and_jumps(self):
+        tokens = tokenize_hex_string("9C 50 [2-6] A1")
+        assert tokens == [
+            ("byte", ("9", "C")),
+            ("byte", ("5", "0")),
+            ("jump", (2, 6)),
+            ("byte", ("A", "1")),
+        ]
+
+    def test_unbounded_and_exact_jumps(self):
+        assert tokenize_hex_string("[3-]")[0] == ("jump", (3, None))
+        assert tokenize_hex_string("[4]")[0] == ("jump", (4, 4))
+        assert tokenize_hex_string("[-5]")[0] == ("jump", (0, 5))
+
+    def test_alternation_tokens(self):
+        kinds = [k for k, _ in tokenize_hex_string("(AA | BB)")]
+        assert kinds == ["alt_open", "byte", "alt_sep", "byte", "alt_close"]
+
+    def test_errors(self):
+        with pytest.raises(PatternError):
+            tokenize_hex_string("9")  # lone nibble
+        with pytest.raises(PatternError):
+            tokenize_hex_string("[2-")
+        with pytest.raises(PatternError):
+            tokenize_hex_string("ZZ")
+        with pytest.raises(PatternError):
+            tokenize_hex_string("[6-2]")
+
+
+class TestHexStringToRegex:
+    def test_paper_example_compiles_and_matches(self):
+        # the example hex pattern from Section IX-A
+        pattern = "9C 50 A1 ?? (?A ?? 00 | 66 A9 D?) ?? 58 0F 85"
+        regex = hex_string_to_regex(pattern)
+        hit = bytes([0x9C, 0x50, 0xA1, 0x77, 0x3A, 0x12, 0x00, 0xFE, 0x58, 0x0F, 0x85])
+        miss = bytes([0x9C, 0x50, 0xA1, 0x77, 0x3B, 0x12, 0x00, 0xFE, 0x58, 0x0F, 0x85])
+        assert matches(regex, hit)
+        assert not matches(regex, miss)
+        # second alternative branch
+        hit2 = bytes([0x9C, 0x50, 0xA1, 0x00, 0x66, 0xA9, 0xD3, 0x01, 0x58, 0x0F, 0x85])
+        assert matches(regex, hit2)
+
+    def test_bounded_jump(self):
+        regex = hex_string_to_regex("AA [1-3] BB")
+        assert matches(regex, b"\xaa\x00\xbb")
+        assert matches(regex, b"\xaa\x00\x00\x00\xbb")
+        assert not matches(regex, b"\xaa\xbb")
+        assert not matches(regex, b"\xaa\x00\x00\x00\x00\xbb")
+
+    def test_unbounded_jump_clamped(self):
+        regex = hex_string_to_regex("AA [2-] BB", max_unbounded_jump=4)
+        assert matches(regex, b"\xaa" + b"\x00" * 3 + b"\xbb")
+        assert not matches(regex, b"\xaa" + b"\x00" * 9 + b"\xbb")
+
+    def test_errors(self):
+        with pytest.raises(PatternError):
+            hex_string_to_regex("")
+        with pytest.raises(PatternError):
+            hex_string_to_regex("AA | BB")  # separator outside group
+        with pytest.raises(PatternError):
+            hex_string_to_regex("(AA")
+
+
+YARA_SOURCE = """
+rule DemoMalware : trojan windows {
+    meta:
+        author = "synthetic"
+    strings:
+        $hex = { 9C 50 A1 ?? 58 }
+        $txt = "evil payload" nocase
+        $wide = "config" wide
+        $re = /x[0-9]{3}y/
+    condition:
+        any of them
+}
+
+rule Pair {
+    strings:
+        $a = "alpha"
+        $b = "beta"
+    condition:
+        $a and $b
+}
+"""
+
+
+class TestYaraParser:
+    def test_parses_rules(self):
+        rules = parse_yara(YARA_SOURCE)
+        assert [r.name for r in rules] == ["DemoMalware", "Pair"]
+        assert rules[0].tags == ("trojan", "windows")
+
+    def test_string_kinds_and_modifiers(self):
+        rule = parse_yara(YARA_SOURCE)[0]
+        kinds = {s.ident: s.kind for s in rule.strings}
+        assert kinds == {"$hex": "hex", "$txt": "text", "$wide": "text", "$re": "regex"}
+        assert rule.string("$txt").is_nocase
+        assert rule.string("$wide").is_wide
+
+    def test_condition_any_of_them(self):
+        rule = parse_yara(YARA_SOURCE)[0]
+        assert evaluate_condition(rule, {"$txt"})
+        assert not evaluate_condition(rule, set())
+
+    def test_condition_boolean(self):
+        rule = parse_yara(YARA_SOURCE)[1]
+        assert evaluate_condition(rule, {"$a", "$b"})
+        assert not evaluate_condition(rule, {"$a"})
+
+    def test_condition_n_of_them(self):
+        rules = parse_yara(
+            'rule R { strings: $a = "x" \n $b = "y" \n $c = "z" \n'
+            " condition: 2 of them }"
+        )
+        assert evaluate_condition(rules[0], {"$a", "$c"})
+        assert not evaluate_condition(rules[0], {"$a"})
+
+    def test_malformed_rules(self):
+        with pytest.raises(PatternError):
+            parse_yara("rule X { condition: true }")  # no strings
+        with pytest.raises(PatternError):
+            parse_yara('rule X { strings: $a = "q" }')  # no condition
+        with pytest.raises(PatternError):
+            parse_yara('rule X { strings: $a = "q" unknownmod \n condition: $a }')

@@ -1,0 +1,145 @@
+"""End-to-end YARA benchmark tests: compile, scan, wide variant."""
+
+import pytest
+
+from repro.benchmarks.yara_bench import (
+    compile_yara_rules,
+    generate_malware_corpus,
+    generate_yara_ruleset,
+    scan,
+    string_to_regex,
+)
+from repro.engines import VectorEngine
+from repro.yara import parse_yara
+from repro.yara.parser import YaraString
+
+
+class TestStringToRegex:
+    def test_text_string_escaped(self):
+        pattern, flags = string_to_regex(YaraString("$a", "text", "a.b c"))
+        assert pattern == r"a\x2eb\x20c"
+        assert flags == ""
+
+    def test_nocase_flag(self):
+        _, flags = string_to_regex(
+            YaraString("$a", "text", "abc", frozenset({"nocase"}))
+        )
+        assert flags == "i"
+
+    def test_hex_string(self):
+        pattern, _ = string_to_regex(YaraString("$a", "hex", "9C ?? A1"))
+        assert pattern == r"\x9c[\x00-\xff]\xa1"
+
+    def test_regex_string_passthrough(self):
+        pattern, _ = string_to_regex(YaraString("$a", "regex", r"ab[0-9]+"))
+        assert pattern == r"ab[0-9]+"
+
+
+class TestCompileAndScan:
+    RULES = parse_yara(
+        """
+        rule TextHit {
+            strings:
+                $a = "MAGICTOKEN"
+            condition: any of them
+        }
+        rule BothNeeded {
+            strings:
+                $x = "alphapart"
+                $y = { de ad be ef }
+            condition: all of them
+        }
+        """
+    )
+
+    def test_rule_fires_on_planted_string(self):
+        automaton, rejected = compile_yara_rules(self.RULES)
+        assert rejected == []
+        verdicts = scan(self.RULES, automaton, b"xx MAGICTOKEN yy")
+        assert verdicts == {"TextHit": True, "BothNeeded": False}
+
+    def test_all_of_them_requires_both(self):
+        automaton, _ = compile_yara_rules(self.RULES)
+        half = b"only alphapart here"
+        both = b"alphapart plus \xde\xad\xbe\xef bytes"
+        assert scan(self.RULES, automaton, half)["BothNeeded"] is False
+        assert scan(self.RULES, automaton, both)["BothNeeded"] is True
+
+    def test_report_codes_are_rule_string_pairs(self):
+        automaton, _ = compile_yara_rules(self.RULES)
+        reports = VectorEngine(automaton).run(b"MAGICTOKEN").reports
+        assert reports[0].code == ("TextHit", "$a")
+
+
+class TestWideVariant:
+    RULES = parse_yara(
+        """
+        rule WideRule {
+            strings:
+                $w = "config" wide
+                $n = "narrowonly"
+            condition: any of them
+        }
+        """
+    )
+
+    def test_wide_benchmark_only_includes_wide_strings(self):
+        narrow, _ = compile_yara_rules(self.RULES, wide=False)
+        wide, _ = compile_yara_rules(self.RULES, wide=True)
+        assert len(wide.connected_components()) == 1
+        assert len(narrow.connected_components()) == 2
+
+    def test_wide_matches_interleaved_encoding(self):
+        wide, _ = compile_yara_rules(self.RULES, wide=True)
+        payload = b"".join(bytes([b, 0]) for b in b"config")
+        assert VectorEngine(wide).run(b"xx" + payload).report_count == 1
+        assert VectorEngine(wide).run(b"config").report_count == 0
+
+    def test_wide_state_count_doubles_narrow_string(self):
+        wide, _ = compile_yara_rules(self.RULES, wide=True)
+        assert wide.n_states == 2 * len("config")
+
+
+class TestSyntheticRuleset:
+    def test_generation_deterministic(self):
+        assert generate_yara_ruleset(10, seed=3) == generate_yara_ruleset(10, seed=3)
+
+    def test_ruleset_compiles(self):
+        rules = generate_yara_ruleset(25, seed=1)
+        automaton, rejected = compile_yara_rules(rules)
+        assert automaton.n_states > 0
+        assert len(rejected) == 0
+
+    def test_planted_rules_detected(self):
+        rules = generate_yara_ruleset(20, seed=2)
+        automaton, _ = compile_yara_rules(rules)
+        corpus, planted = generate_malware_corpus(rules, 8, seed=4)
+        assert planted
+        verdicts = scan(rules, automaton, corpus)
+        for name in planted:
+            assert verdicts[name], f"planted rule {name} did not fire"
+
+    def test_unplanted_mostly_silent(self):
+        rules = generate_yara_ruleset(20, seed=5)
+        automaton, _ = compile_yara_rules(rules)
+        corpus, planted = generate_malware_corpus(rules, 4, seed=6)
+        verdicts = scan(rules, automaton, corpus)
+        fired = {name for name, hit in verdicts.items() if hit}
+        false_positives = fired - planted
+        # short hex strings can fire by chance; the bulk must be planted
+        assert len(false_positives) <= max(2, len(planted))
+
+    def test_wide_corpus_triggers_wide_benchmark(self):
+        rules = generate_yara_ruleset(30, seed=7, wide_fraction=0.8)
+        wide_auto, _ = compile_yara_rules(rules, wide=True)
+        corpus, planted = generate_malware_corpus(
+            rules, 10, seed=8, wide=True, plant_fraction=0.9
+        )
+        result = VectorEngine(wide_auto).run(corpus)
+        fired_rules = {code[0] for code in (e.code for e in result.reports)}
+        wide_rules_planted = {
+            r.name
+            for r in rules
+            if r.name in planted and any(s.is_wide for s in r.strings)
+        }
+        assert wide_rules_planted <= fired_rules
