@@ -28,6 +28,7 @@ from repro.core import (
 )
 from repro.engines import (
     KINTEX_KU060,
+    BitsetEngine,
     LazyDFAEngine,
     MICRON_D480,
     ReferenceEngine,
@@ -35,6 +36,8 @@ from repro.engines import (
     RunResult,
     SpatialModel,
     VectorEngine,
+    auto_engine,
+    compiled_engine,
 )
 from repro.errors import (
     AutomatonError,
@@ -51,6 +54,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Automaton",
     "AutomatonError",
+    "BitsetEngine",
     "CapacityError",
     "CharSet",
     "CounterElement",
@@ -71,7 +75,9 @@ __all__ = [
     "SpatialModel",
     "StartMode",
     "VectorEngine",
+    "auto_engine",
     "compile_regex",
+    "compiled_engine",
 ]
 
 

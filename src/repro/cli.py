@@ -4,7 +4,7 @@ Usage (also via ``python -m repro``)::
 
     repro list
     repro build "Hamming 18x3" --scale 0.01 --output hamming.mnrl
-    repro run "Snort" --scale 0.01 --limit 5000 --engine vector
+    repro run "Snort" --scale 0.01 --limit 5000 --engine bitset
     repro stats hamming.mnrl
     repro table1 --scale 0.005
     repro grep 'virus[0-9]+' /path/to/file
@@ -21,19 +21,13 @@ import pathlib
 import sys
 
 from repro.benchmarks import BENCHMARK_NAMES, build_benchmark
-from repro.engines import LazyDFAEngine, ReferenceEngine, VectorEngine
+from repro.engines import ENGINE_REGISTRY, auto_engine, compiled_engine
 from repro.io import from_anml, from_mnrl, mnrl_dumps, to_anml
 from repro.regex import compile_regex
 from repro.stats import compute_static_stats, format_table, summarize_benchmark
 from repro.transforms import merge_common_prefixes
 
 __all__ = ["main"]
-
-_ENGINES = {
-    "reference": ReferenceEngine,
-    "vector": VectorEngine,
-    "dfa": LazyDFAEngine,
-}
 
 
 def _load_automaton(path: pathlib.Path):
@@ -70,7 +64,7 @@ def _cmd_build(args) -> int:
 def _cmd_run(args) -> int:
     bench = build_benchmark(args.name, scale=args.scale, seed=args.seed)
     data = bench.input_data[: args.limit] if args.limit else bench.input_data
-    engine = _ENGINES[args.engine](bench.automaton)
+    engine = compiled_engine(bench.automaton, ENGINE_REGISTRY[args.engine])
     result = engine.run(data, record_active=True)
     print(f"benchmark:      {bench.name}")
     print(f"states:         {bench.states:,}")
@@ -148,7 +142,7 @@ def _cmd_export_suite(args) -> int:
 def _cmd_grep(args) -> int:
     automaton = compile_regex(args.pattern, args.flags)
     data = pathlib.Path(args.file).read_bytes()
-    result = VectorEngine(automaton).run(data)
+    result = auto_engine(automaton).run(data)
     for event in result.reports:
         start = max(0, event.offset - args.context)
         end = min(len(data), event.offset + args.context + 1)
@@ -178,7 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--limit", type=int, default=10_000, help="max input symbols")
-    p.add_argument("--engine", choices=sorted(_ENGINES), default="vector")
+    p.add_argument("--engine", choices=sorted(ENGINE_REGISTRY), default="bitset")
     p.add_argument("--show-reports", type=int, default=0, metavar="N")
     p.set_defaults(func=_cmd_run)
 

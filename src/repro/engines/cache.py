@@ -1,0 +1,201 @@
+"""Module-level engine compile cache.
+
+Compiling an engine (packing charsets, flattening successor tables) is
+O(states x alphabet) and dominates short scans: ``parallel_scan`` used to
+rebuild a full :class:`~repro.engines.vector.VectorEngine` per segment per
+call, and benchmark loops recompile the same automaton over and over.
+This cache memoises compiled engines keyed by
+
+    (automaton fingerprint, engine class, construction options)
+
+so repeated compiles of structurally identical automata — including copies
+that crossed a process boundary, as in process-pool workers — hit the same
+entry.  The store is a bounded LRU (engines for the full-scale suite are
+large, so unbounded growth is not acceptable) guarded by a lock so thread
+pools can share it.
+
+Cached engines are shared objects: all engines in this library are
+immutable after construction with per-run state held in stream sessions,
+so sharing is safe.  (:class:`~repro.engines.lazydfa.LazyDFAEngine` grows
+its memo table across runs — still semantically safe, but its memo is not
+guarded for concurrent *threaded* mutation; use per-thread engines if you
+hammer one lazy DFA from many threads.)
+
+The fingerprint is a structural SHA-256 over elements, charsets, start and
+report flags, edges and reset wires.  It is cached on the automaton object
+and revalidated against ``(n_states, n_edges)``; in-place mutations that
+preserve both counts (e.g. swapping one charset) are not detected, so call
+:func:`automaton_fingerprint` with ``use_cache=False`` after such surgery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+from repro.core.elements import CounterElement, STE
+from repro.engines.base import Engine
+from repro.engines.vector import VectorEngine
+from repro.errors import CapacityError
+
+__all__ = [
+    "automaton_fingerprint",
+    "compiled_engine",
+    "auto_engine",
+    "clear_engine_cache",
+    "engine_cache_info",
+    "set_engine_cache_limit",
+]
+
+_FINGERPRINT_ATTR = "_repro_fingerprint"
+
+_lock = threading.Lock()
+_cache: "OrderedDict[tuple, Engine]" = OrderedDict()
+_maxsize = 32
+_hits = 0
+_misses = 0
+
+
+def automaton_fingerprint(automaton: Automaton, *, use_cache: bool = True) -> str:
+    """Structural SHA-256 fingerprint of an automaton.
+
+    Two automata with the same elements (idents, charsets, start modes,
+    report flags/codes, counter targets/modes), edges and reset wires get
+    the same fingerprint, regardless of object identity or pickling.  The
+    digest is stashed on the automaton and revalidated against
+    ``(n_states, n_edges)``; pass ``use_cache=False`` to force a
+    recomputation after an in-place mutation that preserves both counts.
+    """
+    guard = (automaton.n_states, automaton.n_edges)
+    stamp = getattr(automaton, _FINGERPRINT_ATTR, None)
+    if use_cache and stamp is not None and stamp[0] == guard:
+        return stamp[1]
+    h = hashlib.sha256()
+    update = h.update
+    for element in automaton.elements():
+        if isinstance(element, STE):
+            update(b"S")
+            update(element.ident.encode())
+            update(b"\x00")
+            update(element.charset._mask.to_bytes(32, "little"))
+            update(element.start.name.encode())
+        elif isinstance(element, CounterElement):
+            update(b"C")
+            update(element.ident.encode())
+            update(b"\x00")
+            update(str(element.target).encode())
+            update(element.mode.name.encode())
+        else:  # pragma: no cover - defensive
+            update(b"?")
+            update(repr(element).encode())
+        update(b"\x01" if element.report else b"\x02")
+        update(repr(element.report_code).encode())
+        update(b"\x03")
+    for src in automaton.idents():
+        update(src.encode())
+        update(b"\x04")
+        for dst in sorted(automaton.successors(src)):
+            update(dst.encode())
+            update(b"\x00")
+        update(b"\x05")
+    for src, counter in sorted(automaton.reset_edges()):
+        update(b"R")
+        update(src.encode())
+        update(b"\x00")
+        update(counter.encode())
+        update(b"\x06")
+    digest = h.hexdigest()
+    try:
+        setattr(automaton, _FINGERPRINT_ATTR, (guard, digest))
+    except AttributeError:  # pragma: no cover - slotted subclasses
+        pass
+    return digest
+
+
+def compiled_engine(
+    automaton: Automaton,
+    engine_cls: type[Engine] = VectorEngine,
+    **options,
+) -> Engine:
+    """A compiled engine for ``automaton``, memoised across calls.
+
+    ``options`` are forwarded to the engine constructor and participate in
+    the cache key, so e.g. different ``max_dfa_states`` budgets coexist.
+    """
+    global _hits, _misses
+    key = (
+        automaton_fingerprint(automaton),
+        engine_cls,
+        tuple(sorted(options.items())),
+    )
+    with _lock:
+        engine = _cache.get(key)
+        if engine is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            return engine
+        _misses += 1
+    # Compile outside the lock: construction can take seconds and must not
+    # serialise unrelated workers.  A racing duplicate compile is benign.
+    engine = engine_cls(automaton, **options)
+    with _lock:
+        _cache[key] = engine
+        _cache.move_to_end(key)
+        while len(_cache) > _maxsize:
+            _cache.popitem(last=False)
+    return engine
+
+
+def auto_engine(automaton: Automaton, **options) -> Engine:
+    """The best general-purpose CPU engine for this automaton, cached.
+
+    :class:`~repro.engines.bitset.BitsetEngine` when the automaton fits
+    under its quadratic-successor-mask cap, else
+    :class:`~repro.engines.vector.VectorEngine` (whose CSR successor
+    tables scale to the multi-million-state full-size builds).
+    """
+    from repro.engines.bitset import BitsetEngine
+
+    try:
+        return compiled_engine(automaton, BitsetEngine, **options)
+    except CapacityError:
+        return compiled_engine(automaton, VectorEngine)
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss statistics of the engine compile cache."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+def engine_cache_info() -> CacheInfo:
+    """Current cache statistics (for benchmarks and diagnostics)."""
+    with _lock:
+        return CacheInfo(hits=_hits, misses=_misses, size=len(_cache), maxsize=_maxsize)
+
+
+def clear_engine_cache() -> None:
+    """Drop every cached engine and reset the statistics."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
+
+
+def set_engine_cache_limit(maxsize: int) -> None:
+    """Resize the LRU (evicting oldest entries if shrinking)."""
+    global _maxsize
+    if maxsize < 1:
+        raise ValueError("cache limit must be at least 1")
+    with _lock:
+        _maxsize = maxsize
+        while len(_cache) > _maxsize:
+            _cache.popitem(last=False)

@@ -60,6 +60,17 @@ class LazyDFAEngine(Engine):
         self._id_to_set: list[frozenset[int]] = []
         self._trans: list[np.ndarray] = []
         self._emits: list[dict[int, tuple[tuple[str, object], ...]]] = []
+        # Steady-state promotion (built by _promote, dropped on growth):
+        # _trans_table is the per-state rows stacked into one dense 2D
+        # int64 table, _trans_rows its plain-list view for cheap scalar
+        # indexing, _emit_bits a per-state 256-bit has-emit bitmask so the
+        # common no-report path never probes the _emits dicts.
+        self._trans_table: np.ndarray | None = None
+        self._trans_rows: list[list[int]] | None = None
+        self._emit_bits: list[int] | None = None
+        #: Memo misses so far (on-demand _compute calls); the stream loop
+        #: uses it to detect a miss-free block and trigger promotion.
+        self._compute_count = 0
         self._initial_id = self._intern(initial)
 
     # -- construction ------------------------------------------------------
@@ -77,9 +88,13 @@ class LazyDFAEngine(Engine):
             self._id_to_set.append(state_set)
             self._trans.append(np.full(256, -1, dtype=np.int64))
             self._emits.append({})
+            self._trans_table = None
+            self._trans_rows = None
+            self._emit_bits = None
         return sid
 
     def _compute(self, sid: int, symbol: int) -> int:
+        self._compute_count += 1
         current = self._id_to_set[sid]
         matched = [i for i in current if self._charsets[i].matches(symbol)]
         emits = tuple(
@@ -92,7 +107,36 @@ class LazyDFAEngine(Engine):
         self._trans[sid][symbol] = nid
         if emits:
             self._emits[sid][symbol] = emits
+        self._trans_table = None
+        self._trans_rows = None
+        self._emit_bits = None
         return nid
+
+    # Promotion above this many DFA states would cost more memory in list
+    # cells than the lookup savings are worth; the per-row path stays.
+    _PROMOTE_MAX_STATES = 8192
+
+    def _promote(self) -> bool:
+        """Freeze the warm transition lists into the dense steady-state form.
+
+        Returns True if the promoted tables are in place.  Called by the
+        stream loop once a full block of symbols runs without a memo miss;
+        any later subset-construction growth invalidates the tables again.
+        """
+        if self._trans_rows is not None:
+            return True
+        if len(self._trans) > self._PROMOTE_MAX_STATES:
+            return False
+        self._trans_table = np.vstack(self._trans)
+        self._trans_rows = self._trans_table.tolist()
+        emit_bits = []
+        for per_symbol in self._emits:
+            bits = 0
+            for symbol in per_symbol:
+                bits |= 1 << symbol
+            emit_bits.append(bits)
+        self._emit_bits = emit_bits
+        return True
 
     @property
     def dfa_state_count(self) -> int:
@@ -115,8 +159,20 @@ class LazyDFAEngine(Engine):
         )
 
 
+#: Symbols per block between promotion checks in the stream loop.
+_PROMOTE_BLOCK = 1024
+
+
 class LazyDFAStream:
-    """Persistent execution state (the current DFA state id)."""
+    """Persistent execution state (the current DFA state id).
+
+    The feed loop runs in blocks: while the subset construction is still
+    growing it takes the memoising slow path, and after the first block
+    that completes without a memo miss it promotes the engine to its dense
+    steady-state tables (one transition load plus one has-emit bit test
+    per symbol).  A later miss drops back to the slow path until the next
+    clean block re-promotes.
+    """
 
     def __init__(self, engine: LazyDFAEngine, *, record_active: bool = False) -> None:
         self._engine = engine
@@ -127,14 +183,40 @@ class LazyDFAStream:
     def feed(self, data: bytes) -> list[ReportEvent]:
         engine = self._engine
         reports: list[ReportEvent] = []
-        active_counts = self.active_per_cycle
         sid = self._sid
+        base = self.offset
+        length = len(data)
+        pos = 0
+        promoted_this_feed = False
+        while pos < length:
+            end = min(pos + _PROMOTE_BLOCK, length)
+            if engine._trans_rows is not None:
+                sid, pos = self._run_promoted(data, pos, end, sid, base, reports)
+            else:
+                before = engine._compute_count
+                sid = self._run_slow(data, pos, end, sid, base, reports)
+                pos = end
+                if not promoted_this_feed and engine._compute_count == before:
+                    # A full block without a memo miss: warm-up is over.
+                    # (At most one promotion per feed, so a slowly growing
+                    # subset space cannot thrash table rebuilds.)
+                    promoted_this_feed = engine._promote()
+        self._sid = sid
+        self.offset = base + length
+        reports.sort()
+        return reports
+
+    def _run_slow(self, data, pos, end, sid, base, reports):
+        """Memoising path: list-of-rows transitions, computed on demand."""
+        engine = self._engine
+        active_counts = self.active_per_cycle
         trans = engine._trans
         emits = engine._emits
-        base = self.offset
-        for index, symbol in enumerate(data):
+        id_to_set = engine._id_to_set
+        for index in range(pos, end):
+            symbol = data[index]
             if active_counts is not None:
-                active_counts.append(len(engine._id_to_set[sid]))
+                active_counts.append(len(id_to_set[sid]))
             nid = trans[sid][symbol]
             if nid < 0:
                 nid = engine._compute(sid, symbol)
@@ -143,7 +225,35 @@ class LazyDFAStream:
                 for ident, code in hit:
                     reports.append(ReportEvent(base + index, ident, code))
             sid = nid
-        self._sid = sid
-        self.offset = base + len(data)
-        reports.sort()
-        return reports
+        return sid
+
+    def _run_promoted(self, data, pos, end, sid, base, reports):
+        """Steady-state path over the dense promoted tables.
+
+        Returns ``(sid, reached)``; ``reached < end`` means an unexplored
+        transition was hit (computing it invalidated the tables) and the
+        caller must continue on the slow path.
+        """
+        engine = self._engine
+        active_counts = self.active_per_cycle
+        rows = engine._trans_rows
+        emit_bits = engine._emit_bits
+        emits = engine._emits
+        id_to_set = engine._id_to_set
+        for index in range(pos, end):
+            symbol = data[index]
+            if active_counts is not None:
+                active_counts.append(len(id_to_set[sid]))
+            nid = rows[sid][symbol]
+            if nid < 0:
+                nid = engine._compute(sid, symbol)
+                hit = emits[sid].get(symbol)
+                if hit is not None:
+                    for ident, code in hit:
+                        reports.append(ReportEvent(base + index, ident, code))
+                return nid, index + 1
+            if (emit_bits[sid] >> symbol) & 1:
+                for ident, code in emits[sid][symbol]:
+                    reports.append(ReportEvent(base + index, ident, code))
+            sid = nid
+        return sid, end

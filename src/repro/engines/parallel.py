@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.automaton import Automaton
-from repro.engines.base import ReportEvent, RunResult
+from repro.engines.base import Engine, ReportEvent, RunResult
+from repro.engines.cache import compiled_engine
 from repro.engines.prefilter import max_match_length
 from repro.engines.vector import VectorEngine
 from repro.errors import EngineError
@@ -56,8 +57,12 @@ def split_with_overlap(
 
 
 def _scan_segment(args):
-    automaton, data, segment = args
-    engine = VectorEngine(automaton)
+    automaton, data, segment, engine_cls = args
+    # The compile cache keys on the automaton's structural fingerprint, so
+    # every segment of every call — including segments handled by the same
+    # process-pool worker across tasks, where the pickled automaton is a
+    # fresh object each time — reuses one compiled engine per worker.
+    engine = compiled_engine(automaton, engine_cls)
     result = engine.run(data[segment.scan_start : segment.end])
     return [
         ReportEvent(event.offset + segment.scan_start, event.ident, event.code)
@@ -72,6 +77,7 @@ def parallel_scan(
     n_segments: int,
     *,
     pool=None,
+    engine_cls: type[Engine] | None = None,
 ) -> RunResult:
     """Scan ``data`` as ``n_segments`` independent overlapped segments.
 
@@ -79,7 +85,10 @@ def parallel_scan(
     only and would need special casing) with finite match length.  Pass a
     ``concurrent.futures`` executor as ``pool`` to actually parallelise;
     the default runs segments serially (the semantics are the point — on a
-    spatial architecture each segment is a hardware replica).
+    spatial architecture each segment is a hardware replica).  Segment
+    engines default to :class:`VectorEngine` and are compiled once per
+    worker through the engine cache; pass ``engine_cls`` (e.g.
+    :class:`~repro.engines.bitset.BitsetEngine`) to pick the engine.
     """
     from repro.core.elements import StartMode
 
@@ -92,7 +101,8 @@ def parallel_scan(
             "bound cross-boundary matches"
         )
     segments = split_with_overlap(len(data), n_segments, max(window - 1, 0))
-    tasks = [(automaton, data, segment) for segment in segments]
+    cls = engine_cls if engine_cls is not None else VectorEngine
+    tasks = [(automaton, data, segment, cls) for segment in segments]
     if pool is None:
         parts = [_scan_segment(task) for task in tasks]
     else:

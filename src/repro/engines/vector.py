@@ -75,6 +75,7 @@ class VectorEngine(Engine):
             self._feed_mask[i] = True
         for i in self._reset_feeds:
             self._feed_mask[i] = True
+        self._has_feeds = bool(self._feed_mask.any())
 
         self._all_input = np.fromiter(
             sorted(
@@ -169,38 +170,48 @@ class VectorStream:
                 active_counts.append(int(enabled.size))
             matched = engine._matches(int(buffer[index]), enabled)
 
-            if engine._any_report and matched.size:
+            if not matched.size:
+                # Nothing fired: the next enabled set is exactly the
+                # ALL_INPUT starts (already sorted/unique), so skip the
+                # unique/concatenate entirely.  _all_input is never
+                # mutated, so sharing the array is safe.
+                enabled = engine._all_input
+                continue
+
+            if engine._any_report:
                 for i in matched[engine._report_mask[matched]]:
                     i = int(i)
                     reports.append(
                         ReportEvent(offset, engine._idents[i], engine._report_codes[i])
                     )
 
-            next_parts = [engine._gather_successors(matched)] if matched.size else []
+            next_parts = [engine._gather_successors(matched)]
 
-            if matched.size and engine._feed_mask[matched].any():
-                events: set[str] = set()
-                resets: set[str] = set()
-                for i in matched[engine._feed_mask[matched]]:
-                    i = int(i)
-                    events.update(engine._counter_feeds.get(i, ()))
-                    resets.update(engine._reset_feeds.get(i, ()))
-                for counter_ident in resets:
-                    counter_state[counter_ident].reset()
-                for counter_ident in sorted(events):
-                    state = counter_state[counter_ident]
-                    if state.on_count_event():
-                        element = state.element
-                        if element.report:
-                            reports.append(
-                                ReportEvent(offset, counter_ident, element.report_code)
-                            )
-                        next_parts.append(engine._counter_succ[counter_ident])
+            if engine._has_feeds:
+                feed_hits = engine._feed_mask[matched]
+                if feed_hits.any():
+                    events: set[str] = set()
+                    resets: set[str] = set()
+                    for i in matched[feed_hits]:
+                        i = int(i)
+                        events.update(engine._counter_feeds.get(i, ()))
+                        resets.update(engine._reset_feeds.get(i, ()))
+                    for counter_ident in resets:
+                        counter_state[counter_ident].reset()
+                    for counter_ident in sorted(events):
+                        state = counter_state[counter_ident]
+                        if state.on_count_event():
+                            element = state.element
+                            if element.report:
+                                reports.append(
+                                    ReportEvent(
+                                        offset, counter_ident, element.report_code
+                                    )
+                                )
+                            next_parts.append(engine._counter_succ[counter_ident])
 
             next_parts.append(engine._all_input)
-            enabled = np.unique(np.concatenate(next_parts)) if next_parts else np.empty(
-                0, dtype=np.int64
-            )
+            enabled = np.unique(np.concatenate(next_parts))
 
         self._enabled = enabled
         self.offset = base + len(data)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.core.automaton import Automaton
 from repro.engines.base import Engine
-from repro.engines.vector import VectorEngine
+from repro.engines.cache import auto_engine
 
 __all__ = ["DynamicStats", "measure_dynamic"]
 
@@ -57,7 +57,10 @@ def measure_dynamic(
 ) -> DynamicStats:
     """Run ``automaton`` over ``data`` and summarise dynamic behaviour."""
     if engine is None:
-        engine = VectorEngine(automaton)
+        # Bitset when the automaton fits its cap, Vector otherwise; either
+        # way compiled once per structure via the engine cache, so Table I
+        # sweeps do not recompile per metric.
+        engine = auto_engine(automaton)
     result = engine.run(data, record_active=True)
     return DynamicStats(
         symbols=result.cycles,

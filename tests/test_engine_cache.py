@@ -1,0 +1,140 @@
+"""Engine compile cache: fingerprint identity, LRU behaviour, fallback."""
+
+import pickle
+
+import pytest
+
+from repro.core import Automaton, CharSet, StartMode
+from repro.engines import (
+    BitsetEngine,
+    ReferenceEngine,
+    VectorEngine,
+    auto_engine,
+    automaton_fingerprint,
+    clear_engine_cache,
+    compiled_engine,
+    engine_cache_info,
+    set_engine_cache_limit,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_engine_cache()
+    set_engine_cache_limit(32)
+    yield
+    clear_engine_cache()
+    set_engine_cache_limit(32)
+
+
+def literal(pattern: str = "ab", name: str = "t") -> Automaton:
+    a = Automaton(name)
+    prev = None
+    for i, ch in enumerate(pattern):
+        start = StartMode.ALL_INPUT if i == 0 else StartMode.NONE
+        a.add_ste(f"s{i}", CharSet.from_chars(ch), start=start,
+                  report=i == len(pattern) - 1)
+        if prev is not None:
+            a.add_edge(prev, f"s{i}")
+        prev = f"s{i}"
+    return a
+
+
+class TestFingerprint:
+    def test_stable_across_object_identity(self):
+        assert automaton_fingerprint(literal()) == automaton_fingerprint(literal())
+
+    def test_stable_across_pickling(self):
+        a = literal()
+        b = pickle.loads(pickle.dumps(a))
+        assert automaton_fingerprint(a) == automaton_fingerprint(b)
+
+    def test_sensitive_to_charset(self):
+        a = literal("ab")
+        b = literal("ac")
+        assert automaton_fingerprint(a) != automaton_fingerprint(b)
+
+    def test_sensitive_to_edges(self):
+        a = literal("ab")
+        b = literal("ab")
+        b.add_edge("s1", "s0")
+        assert automaton_fingerprint(a) != automaton_fingerprint(b)
+
+    def test_sensitive_to_report_flag(self):
+        a = Automaton()
+        a.add_ste("s", CharSet.from_chars("a"), start=StartMode.ALL_INPUT)
+        b = Automaton()
+        b.add_ste("s", CharSet.from_chars("a"), start=StartMode.ALL_INPUT,
+                  report=True)
+        assert automaton_fingerprint(a) != automaton_fingerprint(b)
+
+    def test_stamp_reused(self):
+        a = literal()
+        first = automaton_fingerprint(a)
+        assert a._repro_fingerprint[1] == first
+        assert automaton_fingerprint(a) == first
+
+
+class TestCompiledEngine:
+    def test_same_object_returned(self):
+        a = literal()
+        assert compiled_engine(a, BitsetEngine) is compiled_engine(a, BitsetEngine)
+
+    def test_shared_across_structural_copies(self):
+        a = literal()
+        b = pickle.loads(pickle.dumps(a))
+        assert compiled_engine(a, BitsetEngine) is compiled_engine(b, BitsetEngine)
+
+    def test_engine_class_part_of_key(self):
+        a = literal()
+        vec = compiled_engine(a, VectorEngine)
+        bit = compiled_engine(a, BitsetEngine)
+        assert type(vec) is VectorEngine and type(bit) is BitsetEngine
+
+    def test_options_part_of_key(self):
+        a = literal()
+        e1 = compiled_engine(a, BitsetEngine, max_states=100)
+        e2 = compiled_engine(a, BitsetEngine, max_states=200)
+        assert e1 is not e2
+
+    def test_hit_miss_accounting(self):
+        a = literal()
+        compiled_engine(a, BitsetEngine)
+        compiled_engine(a, BitsetEngine)
+        info = engine_cache_info()
+        assert (info.hits, info.misses, info.size) == (1, 1, 1)
+
+    def test_lru_bound(self):
+        # the fingerprint is structural, so distinct charsets = distinct keys
+        set_engine_cache_limit(2)
+        engines = [
+            compiled_engine(literal(pattern), ReferenceEngine)
+            for pattern in ("ab", "ac", "ad", "ae")
+        ]
+        assert engine_cache_info().size == 2
+        # oldest entry was evicted: recompiling it is a fresh object
+        assert compiled_engine(literal("ab"), ReferenceEngine) is not engines[0]
+
+    def test_clear(self):
+        compiled_engine(literal(), BitsetEngine)
+        clear_engine_cache()
+        info = engine_cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            set_engine_cache_limit(0)
+
+    def test_cached_engine_produces_correct_results(self):
+        a = literal("ab")
+        eng = compiled_engine(a, BitsetEngine)
+        assert [r.offset for r in eng.run(b"xxabyab").reports] == [3, 6]
+
+
+class TestAutoEngine:
+    def test_picks_bitset_when_small(self):
+        assert type(auto_engine(literal())) is BitsetEngine
+
+    def test_falls_back_to_vector_over_cap(self):
+        eng = auto_engine(literal(), max_states=1)
+        assert type(eng) is VectorEngine

@@ -1,6 +1,6 @@
 """Property-based cross-engine equivalence.
 
-The three CPU engines implement one execution model; hypothesis generates
+The CPU engines implement one execution model; hypothesis generates
 random automata and random inputs and asserts identical report streams and
 active-set traces.  This is the library's central correctness invariant.
 """
@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Automaton, CharSet, CounterMode, StartMode
-from repro.engines import LazyDFAEngine, ReferenceEngine, VectorEngine
+from repro.engines import BitsetEngine, LazyDFAEngine, ReferenceEngine, VectorEngine
 
 ALPHABET = b"abcd"
 
@@ -58,10 +58,10 @@ inputs = st.binary(max_size=40).map(
 
 @settings(max_examples=150, deadline=None)
 @given(automaton=random_automata(), data=inputs)
-def test_three_engines_agree(automaton, data):
+def test_engines_agree(automaton, data):
     results = [
         engine_cls(automaton).run(data, record_active=True)
-        for engine_cls in (ReferenceEngine, VectorEngine, LazyDFAEngine)
+        for engine_cls in (ReferenceEngine, VectorEngine, BitsetEngine, LazyDFAEngine)
     ]
     baseline = results[0]
     for other in results[1:]:
@@ -74,9 +74,10 @@ def test_three_engines_agree(automaton, data):
 @given(automaton=random_automata(with_counters=True), data=inputs)
 def test_counter_engines_agree(automaton, data):
     ref = ReferenceEngine(automaton).run(data, record_active=True)
-    vec = VectorEngine(automaton).run(data, record_active=True)
-    assert vec.reports == ref.reports
-    assert vec.active_per_cycle == ref.active_per_cycle
+    for engine_cls in (VectorEngine, BitsetEngine):
+        other = engine_cls(automaton).run(data, record_active=True)
+        assert other.reports == ref.reports
+        assert other.active_per_cycle == ref.active_per_cycle
 
 
 @settings(max_examples=50, deadline=None)
@@ -84,6 +85,65 @@ def test_counter_engines_agree(automaton, data):
 def test_runs_are_deterministic(automaton, data):
     eng = VectorEngine(automaton)
     assert eng.run(data).reports == eng.run(data).reports
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    automaton=random_automata(with_counters=True),
+    data=inputs,
+    chunk=st.integers(1, 7),
+)
+def test_bitset_streaming_chunks_agree(automaton, data, chunk):
+    """feed() boundaries are invisible: anchors, counters and the enabled
+    set must carry across chunks exactly as in a single run."""
+    ref = ReferenceEngine(automaton).run(data, record_active=True)
+    stream = BitsetEngine(automaton).stream(record_active=True)
+    reports = []
+    for i in range(0, len(data), chunk):
+        reports.extend(stream.feed(data[i : i + chunk]))
+    reports.sort()
+    assert reports == ref.reports
+    assert stream.offset == ref.cycles
+    assert stream.active_per_cycle == ref.active_per_cycle
+
+
+@settings(max_examples=100, deadline=None)
+@given(automaton=random_automata(with_counters=True), data=inputs)
+def test_bitset_block_path_agrees(automaton, data):
+    """The byte-word block path is semantically identical to the sparse
+    path (the density heuristic may only affect speed, never results)."""
+    ref = ReferenceEngine(automaton).run(data, record_active=True)
+    stream = BitsetEngine(automaton).stream(record_active=True)
+    stream._use_block = True
+    reports = stream.feed(data)
+    assert reports == ref.reports
+    assert stream.active_per_cycle == ref.active_per_cycle
+
+
+def test_bitset_density_heuristic_switches_paths():
+    """A dense always-matching mesh pushes the stream onto the block path;
+    a dead stretch of input drops it back to sparse.  Reports agree with
+    the reference engine across both switches."""
+    a = Automaton("dense")
+    a.add_ste("s0", CharSet.from_chars("a"), start=StartMode.ALL_INPUT)
+    n_dense = 15
+    for i in range(n_dense):
+        a.add_ste(f"d{i}", CharSet.from_chars("a"), report=(i == 0), report_code=i)
+        a.add_edge("s0", f"d{i}")
+    for i in range(n_dense):
+        for j in range(n_dense):
+            a.add_edge(f"d{i}", f"d{j}")
+    data = b"a" * 600 + b"b" * 600 + b"a" * 10
+    ref = ReferenceEngine(a).run(data)
+    stream = BitsetEngine(a).stream()
+    assert not stream._use_block
+    reports = stream.feed(b"a" * 600)
+    assert stream._use_block  # dense stretch: matched count >> cutover
+    reports += stream.feed(b"b" * 600)
+    assert not stream._use_block  # dead stretch: back to the sparse path
+    reports += stream.feed(b"a" * 10)
+    reports.sort()
+    assert reports == ref.reports
 
 
 @settings(max_examples=50, deadline=None)

@@ -3,11 +3,11 @@
 import pytest
 
 from repro.core import Automaton, CharSet, CounterMode, StartMode
-from repro.engines import LazyDFAEngine, ReferenceEngine, VectorEngine
+from repro.engines import BitsetEngine, LazyDFAEngine, ReferenceEngine, VectorEngine
 from repro.errors import CapacityError, EngineError
 
-ENGINES = [ReferenceEngine, VectorEngine, LazyDFAEngine]
-COUNTER_ENGINES = [ReferenceEngine, VectorEngine]
+ENGINES = [ReferenceEngine, VectorEngine, BitsetEngine, LazyDFAEngine]
+COUNTER_ENGINES = [ReferenceEngine, VectorEngine, BitsetEngine]
 
 
 def unanchored_literal(pattern: str, code=None) -> Automaton:
@@ -166,6 +166,18 @@ class TestCounters:
         a.add_edge("s2", "c")
         eng = engine_cls(a)
         assert [r.offset for r in eng.run(b"aa").reports] == [1]
+
+
+class TestBitsetSpecifics:
+    def test_capacity_cap_enforced(self):
+        # Successor bitmasks are quadratic, so construction refuses large
+        # automata instead of silently eating memory.
+        with pytest.raises(CapacityError):
+            BitsetEngine(unanchored_literal("abcd"), max_states=2)
+
+    def test_raised_cap_accepted(self):
+        eng = BitsetEngine(unanchored_literal("ab"), max_states=2)
+        assert eng.count_reports(b"xabx") == 1
 
 
 class TestLazyDFASpecifics:

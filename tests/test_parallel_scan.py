@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engines import VectorEngine
+from repro.engines import BitsetEngine, ReferenceEngine, VectorEngine
 from repro.engines.parallel import (
     parallel_scan,
     parallel_speedup_model,
@@ -67,6 +67,14 @@ class TestParallelScan:
     def test_unbounded_rejected(self):
         with pytest.raises(EngineError):
             parallel_scan(compile_regex("a+b"), b"aab", 2)
+
+    @pytest.mark.parametrize("engine_cls", [ReferenceEngine, BitsetEngine])
+    def test_engine_cls_selects_segment_engine(self, engine_cls):
+        automaton = compile_regex("abcdefgh", report_code="r")
+        data = b"x" * 21 + b"abcdefgh" + b"x" * 21
+        single = VectorEngine(automaton).run(data)
+        segmented = parallel_scan(automaton, data, 2, engine_cls=engine_cls)
+        assert fingerprints(segmented) == fingerprints(single)
 
     def test_with_process_pool(self):
         from concurrent.futures import ThreadPoolExecutor
