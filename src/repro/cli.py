@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     repro stats hamming.mnrl
     repro table1 --scale 0.005
     repro grep 'virus[0-9]+' /path/to/file
+    repro conformance --seeds 500
 
 The CLI mirrors what the VASim binary offers the original suite's users:
 generate, simulate, and report statistics, plus MNRL/ANML export so
@@ -139,6 +140,69 @@ def _cmd_export_suite(args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    import json
+
+    from repro.conformance import (
+        check_goldens,
+        compute_goldens,
+        run_campaign,
+        save_goldens,
+        summary_dict,
+    )
+    from repro.conformance.generator import CaseConfig
+
+    if args.update_goldens:
+        print("recomputing golden digests for all benchmarks...", file=sys.stderr)
+        target = save_goldens(
+            compute_goldens(progress=lambda name: print(f"  {name}", file=sys.stderr)),
+            args.goldens_path,
+        )
+        print(f"wrote {target}", file=sys.stderr)
+        return 0
+
+    config = CaseConfig(max_states=args.max_states, max_input_len=args.max_input_len)
+    report = run_campaign(
+        args.seeds,
+        start_seed=args.start_seed,
+        config=config,
+        repro_dir=args.repro_dir,
+        progress=(
+            (lambda done, n: print(f"  seed {done}/{args.seeds}", file=sys.stderr))
+            if args.verbose
+            else None
+        ),
+    )
+    for record in report.records:
+        print(
+            f"DIVERGENCE seed={record.seed} {record.divergence.subject} "
+            f"[{record.divergence.field}] shrunk to "
+            f"{record.shrunk_states} states / {record.shrunk_input_len} bytes"
+            + (f" -> {record.repro_path}" if record.repro_path else "")
+        )
+
+    golden_problems: list[str] = []
+    if not args.skip_goldens:
+        print("checking golden digests...", file=sys.stderr)
+        golden_problems = check_goldens(path=args.goldens_path)
+        for problem in golden_problems:
+            print(f"GOLDEN DRIFT {problem}")
+
+    summary = summary_dict(report, goldens_problems=golden_problems)
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    status = "clean" if summary["clean"] else "DIVERGED"
+    print(
+        f"conformance: {report.seeds} seeds, {len(report.records)} divergences, "
+        f"{len(golden_problems)} golden problems, "
+        f"{report.elapsed_s:.1f}s -> {status}"
+    )
+    return 0 if summary["clean"] else 1
+
+
 def _cmd_grep(args) -> int:
     automaton = compile_regex(args.pattern, args.flags)
     data = pathlib.Path(args.file).read_bytes()
@@ -201,6 +265,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--names", nargs="*", help="subset of benchmarks")
     p.set_defaults(func=_cmd_export_suite)
+
+    p = sub.add_parser(
+        "conformance",
+        help="differential fuzz of engines/transforms + golden-digest check",
+    )
+    p.add_argument("--seeds", type=int, default=200, help="fuzz cases to run")
+    p.add_argument("--start-seed", type=int, default=0)
+    p.add_argument("--max-states", type=int, default=10, help="states per fuzz case")
+    p.add_argument("--max-input-len", type=int, default=48)
+    p.add_argument(
+        "--repro-dir", help="serialize shrunk repros of any divergence here"
+    )
+    p.add_argument(
+        "--out",
+        default="bench_results/CONFORMANCE.json",
+        help="summary JSON path ('' to skip)",
+    )
+    p.add_argument(
+        "--skip-goldens", action="store_true", help="skip the golden-digest check"
+    )
+    p.add_argument(
+        "--update-goldens",
+        action="store_true",
+        help="recompute and rewrite the golden digests, then exit",
+    )
+    p.add_argument(
+        "--goldens-path", help="override the golden registry file (testing)"
+    )
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_conformance)
 
     p = sub.add_parser("grep", help="scan a file with a compiled regex")
     p.add_argument("pattern")

@@ -1,0 +1,65 @@
+"""Differential conformance subsystem: cross-engine fuzzing, shrinking,
+and golden report-stream digests.
+
+* :mod:`repro.conformance.generator` — seeded random automata/inputs
+  covering char-class edges, counters, start corners and dead states.
+* :mod:`repro.conformance.runner` — diff every engine (whole-run and
+  chunked streaming) and every transform (io-round-tripped) against
+  :class:`~repro.engines.reference.ReferenceEngine`.
+* :mod:`repro.conformance.shrink` — minimise a divergence to a tiny
+  on-disk repro case.
+* :mod:`repro.conformance.goldens` — pinned digests of the 24 benchmark
+  generators' canonical report streams.
+* :mod:`repro.conformance.campaign` — N-seed campaigns with a JSON
+  summary (``repro conformance --seeds N``).
+"""
+
+from repro.conformance.campaign import CampaignReport, run_campaign, summary_dict
+from repro.conformance.generator import (
+    CaseConfig,
+    ConformanceCase,
+    random_automaton,
+    random_case,
+    random_input,
+)
+from repro.conformance.goldens import (
+    benchmark_digest,
+    check_goldens,
+    compute_goldens,
+    goldens_path,
+    load_goldens,
+    save_goldens,
+)
+from repro.conformance.runner import (
+    Divergence,
+    Outcome,
+    engine_outcome,
+    reference_outcome,
+    run_case,
+)
+from repro.conformance.shrink import load_repro, save_repro, shrink_case
+
+__all__ = [
+    "CampaignReport",
+    "CaseConfig",
+    "ConformanceCase",
+    "Divergence",
+    "Outcome",
+    "benchmark_digest",
+    "check_goldens",
+    "compute_goldens",
+    "engine_outcome",
+    "goldens_path",
+    "load_goldens",
+    "load_repro",
+    "random_automaton",
+    "random_case",
+    "random_input",
+    "reference_outcome",
+    "run_campaign",
+    "run_case",
+    "save_goldens",
+    "save_repro",
+    "shrink_case",
+    "summary_dict",
+]

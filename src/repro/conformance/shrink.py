@@ -1,0 +1,211 @@
+"""Automatic minimisation of a diverging conformance case.
+
+Given a failing (automaton, input) pair and a predicate that re-checks the
+divergence, the shrinker greedily reduces both halves to a local minimum:
+
+* **input** — delta-debugging style: drop halves, then smaller chunks,
+  then single bytes;
+* **automaton** — drop whole elements (with incident edges), then single
+  edges, then simplify what remains: clear report flags and start modes,
+  collapse charsets to one symbol, lower counter targets to 1.
+
+Every candidate is accepted only if the predicate still observes the
+divergence, so the final case fails for the same reason the original did.
+The result is written to disk as a self-contained repro directory
+(``automaton.mnrl`` + ``input.bin`` + ``meta.json``) that
+``tests/repros/`` replays as a permanent regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Callable
+
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import CounterElement, STE, StartMode
+from repro.io import from_mnrl, mnrl_dumps
+
+__all__ = ["shrink_case", "save_repro", "load_repro"]
+
+Check = Callable[[Automaton, bytes], bool]
+
+
+def _safe(check: Check, automaton: Automaton, data: bytes) -> bool:
+    """A candidate that crashes the checker itself is rejected."""
+    try:
+        return bool(check(automaton, data))
+    except Exception:  # noqa: BLE001 - shrink must never die on a candidate
+        return False
+
+
+# -- structural edits (all build a fresh Automaton; inputs stay untouched) ----
+
+
+def _rebuild(
+    automaton: Automaton,
+    *,
+    drop_elements: frozenset[str] = frozenset(),
+    drop_edges: frozenset[tuple[str, str]] = frozenset(),
+    patch: dict[str, dict] | None = None,
+) -> Automaton:
+    """Copy ``automaton`` minus some elements/edges, with field overrides.
+
+    ``patch`` maps ident -> attribute overrides (``charset``, ``start``,
+    ``report``, ``target``).  Edges incident to dropped elements vanish.
+    """
+    patch = patch or {}
+    out = Automaton(automaton.name)
+    for element in automaton.elements():
+        if element.ident in drop_elements:
+            continue
+        over = patch.get(element.ident, {})
+        if isinstance(element, STE):
+            out.add_ste(
+                element.ident,
+                over.get("charset", element.charset),
+                start=over.get("start", element.start),
+                report=over.get("report", element.report),
+                report_code=element.report_code,
+            )
+        elif isinstance(element, CounterElement):
+            out.add_counter(
+                element.ident,
+                over.get("target", element.target),
+                mode=element.mode,
+                report=over.get("report", element.report),
+                report_code=element.report_code,
+            )
+    for src, dst in automaton.edges():
+        if src in drop_elements or dst in drop_elements:
+            continue
+        if (src, dst) in drop_edges:
+            continue
+        out.add_edge(src, dst)
+    for src, counter in automaton.reset_edges():
+        if src in drop_elements or counter in drop_elements:
+            continue
+        if (src, counter) in drop_edges:
+            continue
+        out.add_reset_edge(src, counter)
+    return out
+
+
+def _shrink_input(automaton: Automaton, data: bytes, check: Check) -> bytes:
+    """ddmin-style byte removal, halving the chunk size down to 1."""
+    chunk = max(1, len(data) // 2)
+    while chunk >= 1:
+        pos = 0
+        while pos < len(data):
+            candidate = data[:pos] + data[pos + chunk :]
+            if _safe(check, automaton, candidate):
+                data = candidate  # keep position: next chunk slid into place
+            else:
+                pos += chunk
+        if chunk == 1:
+            break
+        chunk //= 2
+    return data
+
+
+def _shrink_elements(automaton: Automaton, data: bytes, check: Check) -> Automaton:
+    progress = True
+    while progress:
+        progress = False
+        for ident in list(automaton.idents()):
+            candidate = _rebuild(automaton, drop_elements=frozenset({ident}))
+            if candidate.n_states and _safe(check, candidate, data):
+                automaton = candidate
+                progress = True
+    return automaton
+
+
+def _shrink_edges(automaton: Automaton, data: bytes, check: Check) -> Automaton:
+    wires = list(automaton.edges()) + list(automaton.reset_edges())
+    for edge in wires:
+        candidate = _rebuild(automaton, drop_edges=frozenset({edge}))
+        if _safe(check, candidate, data):
+            automaton = candidate
+    return automaton
+
+
+def _simplify_fields(automaton: Automaton, data: bytes, check: Check) -> Automaton:
+    for element in list(automaton.elements()):
+        ident = element.ident
+        if element.report:
+            candidate = _rebuild(automaton, patch={ident: {"report": False}})
+            if _safe(check, candidate, data):
+                automaton = candidate
+                element = automaton[ident]
+        if isinstance(element, STE):
+            if element.start is not StartMode.NONE:
+                candidate = _rebuild(
+                    automaton, patch={ident: {"start": StartMode.NONE}}
+                )
+                if _safe(check, candidate, data):
+                    automaton = candidate
+                    element = automaton[ident]
+            if element.charset.cardinality() > 1:
+                single = CharSet.single(next(iter(element.charset)))
+                candidate = _rebuild(automaton, patch={ident: {"charset": single}})
+                if _safe(check, candidate, data):
+                    automaton = candidate
+        elif isinstance(element, CounterElement) and element.target > 1:
+            candidate = _rebuild(automaton, patch={ident: {"target": 1}})
+            if _safe(check, candidate, data):
+                automaton = candidate
+    return automaton
+
+
+def shrink_case(
+    automaton: Automaton,
+    data: bytes,
+    check: Check,
+    *,
+    max_rounds: int = 8,
+) -> tuple[Automaton, bytes]:
+    """Minimise a failing case; ``check`` must be True on the input case.
+
+    Alternates input and structure reduction until a whole round makes no
+    progress (or ``max_rounds`` is hit — a safety valve, normal cases
+    converge in 2-3 rounds).
+    """
+    if not _safe(check, automaton, data):
+        raise ValueError("shrink_case called with a case the checker rejects")
+    for _round in range(max_rounds):
+        before = (automaton.n_states, automaton.n_edges, len(data))
+        data = _shrink_input(automaton, data, check)
+        automaton = _shrink_elements(automaton, data, check)
+        automaton = _shrink_edges(automaton, data, check)
+        automaton = _simplify_fields(automaton, data, check)
+        if (automaton.n_states, automaton.n_edges, len(data)) == before:
+            break
+    return automaton, data
+
+
+# -- repro serialization ------------------------------------------------------
+
+
+def save_repro(
+    directory: str | pathlib.Path,
+    automaton: Automaton,
+    data: bytes,
+    meta: dict,
+) -> pathlib.Path:
+    """Write a self-contained repro case directory; returns its path."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / "automaton.mnrl").write_text(mnrl_dumps(automaton, indent=2))
+    (path / "input.bin").write_bytes(data)
+    (path / "meta.json").write_text(json.dumps(meta, indent=2, default=repr) + "\n")
+    return path
+
+
+def load_repro(directory: str | pathlib.Path) -> tuple[Automaton, bytes, dict]:
+    """Load a repro case saved by :func:`save_repro`."""
+    path = pathlib.Path(directory)
+    automaton = from_mnrl(json.loads((path / "automaton.mnrl").read_text()))
+    data = (path / "input.bin").read_bytes()
+    meta = json.loads((path / "meta.json").read_text())
+    return automaton, data, meta

@@ -38,6 +38,10 @@ _MODE_OF = {v: k for k, v in _AT_TARGET.items()}
 
 
 def _symbol_set(charset: CharSet) -> str:
+    if charset.is_empty():
+        # Matches nothing; the class parser rejects "[]" as invalid PCRE,
+        # so the load path special-cases it (round-trip property-tested).
+        return "[]"
     parts = []
     for lo, hi in charset.ranges():
         if lo == hi:
@@ -118,9 +122,12 @@ def from_anml(text: str) -> Automaton:
             symbol_set = node.get("symbol-set", "")
             if not symbol_set.startswith("["):
                 raise ReproError(f"bad symbol-set {symbol_set!r}")
-            charset, end = parse_class(symbol_set, 1)
-            if end != len(symbol_set):
-                raise ReproError(f"trailing junk in symbol-set {symbol_set!r}")
+            if symbol_set == "[]":
+                charset = CharSet.none()
+            else:
+                charset, end = parse_class(symbol_set, 1)
+                if end != len(symbol_set):
+                    raise ReproError(f"trailing junk in symbol-set {symbol_set!r}")
             report = node.find("report-on-match")
             automaton.add_ste(
                 ident,

@@ -45,6 +45,10 @@ def _symbol_set(charset: CharSet) -> str:
     """Render a charset as an MNRL symbolSet class string."""
     if charset.is_full():
         return r"[\x00-\xff]"
+    if charset.is_empty():
+        # An empty class is invalid PCRE, so the regex parser rejects it;
+        # serialise the never-matching state explicitly instead.
+        return "[]"
     parts = []
     for lo, hi in charset.ranges():
         if lo == hi:
@@ -57,6 +61,8 @@ def _symbol_set(charset: CharSet) -> str:
 def _parse_symbol_set(text: str) -> CharSet:
     if not text.startswith("[") or not text.endswith("]"):
         raise ReproError(f"bad symbolSet: {text!r}")
+    if text == "[]":
+        return CharSet.none()
     charset, end = parse_class(text, 1)
     if end != len(text):
         raise ReproError(f"trailing characters in symbolSet: {text!r}")

@@ -1,0 +1,27 @@
+"""Shared pytest configuration: the tier-1 / long-campaign split.
+
+Two markers partition the suite:
+
+* ``slow`` — heavier-than-average tests (multi-second builds/training).
+  They still run by default; ``pytest -m "not slow"`` is the quick dev
+  loop.
+* ``fuzz`` — long randomized conformance campaigns.  These are *skipped*
+  unless explicitly selected (``pytest -m fuzz``), so the default tier-1
+  run stays fast while the fuzz tier can run for minutes.
+
+See ``docs/TESTING.md`` for the full testing workflow.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    marker_expr = config.getoption("-m", default="") or ""
+    if "fuzz" in marker_expr:
+        return  # explicitly selected: let the campaign run
+    skip_fuzz = pytest.mark.skip(
+        reason="long fuzz campaign; select explicitly with: pytest -m fuzz"
+    )
+    for item in items:
+        if "fuzz" in item.keywords:
+            item.add_marker(skip_fuzz)

@@ -1,0 +1,44 @@
+"""Replay every shrunk fuzz repro as a permanent regression test.
+
+Each ``case_*`` directory here is a minimized divergence the conformance
+fuzzer once found (see ``meta.json`` inside for the original subject and
+root cause).  The fix landed alongside the case, so replaying the case
+through the full differential runner must now be clean — forever.
+
+New cases land automatically via::
+
+    repro conformance --seeds N --repro-dir tests/repros
+
+after which the fix that makes them pass belongs in the same commit.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.conformance import load_repro, run_case
+
+CASES = sorted(
+    p for p in pathlib.Path(__file__).parent.glob("case_*") if p.is_dir()
+)
+
+
+def _case_id(path: pathlib.Path) -> str:
+    return path.name.removeprefix("case_")
+
+
+@pytest.mark.parametrize("case_dir", CASES, ids=_case_id)
+def test_repro_is_clean(case_dir):
+    automaton, data, meta = load_repro(case_dir)
+    divergences = run_case(
+        automaton, data, bit_level=bool(meta.get("bit_level", False))
+    )
+    assert not divergences, (
+        f"regression of {meta.get('subject')} ({meta.get('field')}): "
+        + "; ".join(str(d) for d in divergences)
+    )
+
+
+def test_repro_directory_not_empty():
+    """At least the empty-charset io round-trip case must be present."""
+    assert any(c.name == "case_empty_charset_io_roundtrip" for c in CASES)

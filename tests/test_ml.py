@@ -90,6 +90,7 @@ class TestDecisionTree:
         with pytest.raises(ValueError):
             DecisionTree().fit(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
 
+    @pytest.mark.slow
     def test_more_leaves_fit_better(self, digits):
         small = DecisionTree(max_leaves=8, seed=1).fit(digits.train_x, digits.train_y)
         large = DecisionTree(max_leaves=120, seed=1).fit(digits.train_x, digits.train_y)
@@ -97,6 +98,7 @@ class TestDecisionTree:
         acc_large = (large.predict(digits.train_x) == digits.train_y).mean()
         assert acc_large > acc_small
 
+    @pytest.mark.slow
     def test_paths_partition_feature_space(self, digits):
         """Every sample follows exactly one root-to-leaf path."""
         tree = DecisionTree(max_leaves=20, seed=2).fit(digits.train_x, digits.train_y)
@@ -130,6 +132,7 @@ class TestRandomForest:
     def test_all_paths_enumerates_every_leaf(self, small_forest):
         assert len(small_forest.all_paths()) == small_forest.total_leaves()
 
+    @pytest.mark.slow
     def test_forest_beats_single_tree(self, digits):
         tree = DecisionTree(max_leaves=40, seed=7).fit(digits.train_x, digits.train_y)
         tree_acc = (tree.predict(digits.test_x) == digits.test_y).mean()

@@ -86,6 +86,7 @@ class TestVariants:
         assert (VARIANTS["C"].n_features, VARIANTS["C"].max_leaves) == (200, 800)
         assert all(v.n_trees == 20 for v in VARIANTS.values())
 
+    @pytest.mark.slow
     def test_scaled_training_relationships(self):
         """At reduced scale the Table II shape must hold: A streams more
         symbols than B; C has more states than B."""

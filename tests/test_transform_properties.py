@@ -1,0 +1,179 @@
+"""Property tests for the semantics-preserving transforms.
+
+Randomized automata come from the conformance generator
+(:mod:`repro.conformance.generator`) so the transforms are exercised on
+the same structurally-diverse corners the fuzzer produces: counter
+elements, ALL_INPUT starts, empty charsets, dead states, empty inputs.
+Each property is checked directly against the reference engine — these
+tests are independent of the differential runner's own projections.
+"""
+
+import pytest
+
+from repro.conformance import random_case
+from repro.conformance.runner import reference_outcome
+from repro.core import Automaton, CharSet, StartMode
+from repro.errors import AutomatonError
+from repro.transforms import (
+    merge_bidirectional,
+    merge_common_prefixes,
+    merge_common_suffixes,
+    pack_bits,
+    stride,
+    widen,
+)
+
+MERGES = [
+    pytest.param(merge_common_prefixes, id="prefix"),
+    pytest.param(merge_common_suffixes, id="suffix"),
+    pytest.param(merge_bidirectional, id="bidirectional"),
+]
+
+
+def _event_set(automaton, data):
+    return reference_outcome(automaton, data).event_set()
+
+
+def _counter_automaton():
+    a = Automaton("counted")
+    a.add_ste("tick", CharSet.from_chars("a"), start=StartMode.ALL_INPUT)
+    a.add_counter("cnt", target=2, report=True, report_code=99)
+    a.add_edge("tick", "cnt")
+    return a
+
+
+class TestMergeProperties:
+    @pytest.mark.parametrize("merge", MERGES)
+    def test_event_set_preserved_on_random_automata(self, merge):
+        merged_any = False
+        for seed in range(60):
+            case = random_case(seed)
+            merged, stats = merge(case.automaton)
+            merged_any |= merged.n_states < case.automaton.n_states
+            assert _event_set(merged, case.data) == _event_set(
+                case.automaton, case.data
+            ), f"seed {seed}"
+        assert merged_any, "60 seeds never produced a mergeable automaton"
+
+    @pytest.mark.parametrize("merge", MERGES)
+    def test_counters_survive_merging(self, merge):
+        a = _counter_automaton()
+        merged, _stats = merge(a)
+        for data in (b"", b"a", b"aa", b"aaab"):
+            before = reference_outcome(a, data)
+            after = reference_outcome(merged, data)
+            assert after.event_set() == before.event_set(), data
+            assert after.counters == before.counters, data
+
+    @pytest.mark.parametrize("merge", MERGES)
+    def test_empty_input(self, merge):
+        for seed in range(20):
+            case = random_case(seed)
+            merged, _stats = merge(case.automaton)
+            assert _event_set(merged, b"") == _event_set(case.automaton, b"")
+
+
+class TestWidenProperties:
+    def test_reports_move_to_pad_offsets(self):
+        checked = 0
+        for seed in range(80):
+            case = random_case(seed)
+            a = case.automaton
+            if any(True for _ in a.counters()):
+                continue
+            if any(ste.charset.matches(0) for ste in a.stes()) or 0 in case.data:
+                continue
+            checked += 1
+            wide_data = bytes(b for sym in case.data for b in (sym, 0))
+            want = sorted(
+                (2 * off + 1, code)
+                for off, _ident, code in reference_outcome(a, case.data).reports
+            )
+            got = sorted(
+                (off, code)
+                for off, _ident, code in reference_outcome(widen(a), wide_data).reports
+            )
+            assert want == got, f"seed {seed}"
+        assert checked >= 10, "too few widening-eligible seeds to be meaningful"
+
+    def test_widen_empty_input(self):
+        case = random_case(1)
+        if not any(True for _ in case.automaton.counters()):
+            assert reference_outcome(widen(case.automaton), b"").reports == []
+
+    def test_widen_rejects_counters(self):
+        with pytest.raises(AutomatonError):
+            widen(_counter_automaton())
+
+
+class TestStrideProperties:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_bit_reports_land_in_blocks(self, k):
+        for seed in range(40):
+            case = random_case(seed, bit_level=True)
+            usable = len(case.data) - len(case.data) % k
+            want = {
+                (off // k, code)
+                for off, _ident, code in reference_outcome(
+                    case.automaton, case.data
+                ).reports
+                if off < usable
+            }
+            packed = pack_bits(case.data[:usable], k=k)
+            got = {
+                (off, code)
+                for off, _ident, code in reference_outcome(
+                    stride(case.automaton, k), packed
+                ).reports
+            }
+            assert want == got, f"seed {seed}"
+
+    def test_stride_rejects_counters(self):
+        with pytest.raises(AutomatonError):
+            stride(_counter_automaton(), 2)
+
+    def test_stride_rejects_blocks_wider_than_a_byte(self):
+        a = Automaton("bytes")
+        a.add_ste("s", CharSet.from_chars("ab"), start=StartMode.ALL_INPUT, report=True)
+        with pytest.raises(AutomatonError):
+            stride(a, 2)  # 7-bit alphabet * 2 > 8 bits
+
+    def test_stride_requires_positive_k(self):
+        case = random_case(0, bit_level=True)
+        with pytest.raises(ValueError):
+            stride(case.automaton, 0)
+
+
+class TestPackBitsEdges:
+    def test_empty(self):
+        assert pack_bits(b"", k=4) == b""
+
+    def test_partial_trailing_block_dropped(self):
+        assert pack_bits(bytes([1, 0, 1, 1, 1]), k=2) == bytes([0b10, 0b11])
+
+    def test_rejects_non_bit_symbols(self):
+        with pytest.raises(ValueError):
+            pack_bits(b"ab", k=2)
+
+    def test_msb_first(self):
+        assert pack_bits(bytes([1, 0, 0, 0]), k=4) == bytes([0b1000])
+
+
+class TestZeroLengthFeeds:
+    """Chunk boundaries and zero-length feeds must be invisible, also on
+    transformed automata."""
+
+    @pytest.mark.parametrize("merge", MERGES)
+    def test_merged_automata_under_zero_feeds(self, merge):
+        from repro.conformance.runner import engine_outcome
+        from repro.engines.reference import ReferenceEngine
+
+        for seed in range(15):
+            case = random_case(seed)
+            merged, _stats = merge(case.automaton)
+            whole = reference_outcome(merged, case.data)
+            chunked = engine_outcome(
+                ReferenceEngine(merged), case.data, chunk=3, zero_feeds=True
+            )
+            assert chunked.reports == whole.reports, f"seed {seed}"
+            assert chunked.counters == whole.counters, f"seed {seed}"
