@@ -1,0 +1,111 @@
+"""Static automaton analysis: a linter for benchmark kernels.
+
+The paper's methodology assumes every benchmark automaton is a
+*well-formed full kernel*: no dead states, satisfiable char classes,
+correctly wired counters.  This package makes those invariants explicit
+and checkable *before* anything runs:
+
+>>> from repro.analysis import analyze
+>>> report = analyze(automaton)                      # doctest: +SKIP
+>>> report.errors                                    # doctest: +SKIP
+[]
+
+Entry points:
+
+* :func:`analyze` — run a set of passes, get an
+  :class:`~repro.analysis.diagnostics.AnalysisReport`;
+* :func:`lint_benchmark` — analyze with the benchmark's documented
+  suppressions applied (what the registry gate and ``repro lint`` use);
+* :mod:`repro.analysis.preconditions` — transform precondition checks
+  (invoked by the transforms themselves);
+* :mod:`repro.analysis.crosscheck` — differential validation of analyzer
+  claims against ReferenceEngine traces (wired into the conformance
+  fuzzer, making the analyzer itself differentially tested).
+
+The pass catalogue and diagnostic codes are documented in
+``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.passes import (
+    DEFAULT_PASSES,
+    PASS_REGISTRY,
+    AnalysisContext,
+    analysis_pass,
+)
+from repro.analysis import preconditions as preconditions  # registers AZ4xx passes
+from repro.analysis.structure import StructuralSummary, structural_summary
+from repro.analysis.suppressions import BENCHMARK_SUPPRESSIONS, suppressed_codes
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "BENCHMARK_SUPPRESSIONS",
+    "DEFAULT_PASSES",
+    "Diagnostic",
+    "PASS_REGISTRY",
+    "Severity",
+    "StructuralSummary",
+    "analysis_pass",
+    "analyze",
+    "lint_benchmark",
+    "structural_summary",
+    "suppressed_codes",
+]
+
+
+def analyze(
+    automaton: Automaton,
+    *,
+    passes: Iterable[str] | None = None,
+    alphabet: CharSet | None = None,
+    suppress: Iterable[str] = (),
+    params: dict | None = None,
+) -> AnalysisReport:
+    """Run analysis passes over ``automaton`` and collect diagnostics.
+
+    ``passes`` selects registry names (default :data:`DEFAULT_PASSES`);
+    ``alphabet`` enables the out-of-alphabet charclass check;
+    ``suppress`` moves findings with those codes to the report's
+    ``suppressed`` list; ``params`` feeds transform precondition passes
+    (e.g. ``{"k": 8}``).
+    """
+    selected = tuple(passes) if passes is not None else DEFAULT_PASSES
+    unknown = [name for name in selected if name not in PASS_REGISTRY]
+    if unknown:
+        raise KeyError(
+            f"unknown analysis pass(es) {unknown!r}; registered: "
+            f"{sorted(PASS_REGISTRY)}"
+        )
+    ctx = AnalysisContext(alphabet=alphabet, params=dict(params or {}))
+    report = AnalysisReport(automaton_name=automaton.name, passes_run=selected)
+    for name in selected:
+        report.diagnostics.extend(PASS_REGISTRY[name](automaton, ctx))
+    report.diagnostics.sort(key=lambda d: (-int(d.severity), d.code))
+    if suppress:
+        report = report.apply_suppressions(suppress)
+    return report
+
+
+def lint_benchmark(
+    name: str,
+    automaton: Automaton,
+    *,
+    use_suppressions: bool = True,
+    alphabet: CharSet | None = None,
+) -> AnalysisReport:
+    """Analyze a benchmark automaton with its documented suppressions.
+
+    The report is keyed by the Table I benchmark ``name`` (which the
+    suppression table also keys on), not the automaton's internal name.
+    """
+    suppress = suppressed_codes(name) if use_suppressions else frozenset()
+    report = analyze(automaton, alphabet=alphabet, suppress=suppress)
+    report.automaton_name = name
+    return report

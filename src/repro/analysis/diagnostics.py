@@ -1,0 +1,154 @@
+"""The structured diagnostics model of the static analyzer.
+
+A :class:`Diagnostic` is one finding about one automaton: a stable code
+(``AZ1xx`` reachability, ``AZ2xx`` char classes, ``AZ3xx`` counters,
+``AZ4xx`` transform preconditions — the full catalogue lives in
+``docs/ANALYSIS.md``), a :class:`Severity`, the element ids it concerns,
+a human-readable message and an optional fix-it hint.  Diagnostics are
+plain data: every consumer — the ``repro lint`` CLI, the benchmark
+registry gate, the conformance cross-checker, pytest assertions — works
+off the same objects, and :meth:`Diagnostic.to_dict` is the JSON shape
+written to ``bench_results/LINT.json``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+__all__ = ["Severity", "Diagnostic", "AnalysisReport"]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordered so gates can compare (``>= WARNING``)."""
+
+    #: Structural observation, never gates anything by default.
+    INFO = 0
+    #: The automaton works but wastes capacity or likely hides a bug.
+    WARNING = 1
+    #: The automaton violates a well-formedness invariant the paper's
+    #: methodology (full kernels, faithful active-set figures) relies on.
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a CLI-style severity name (``info|warning|error``)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; choose from "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``code`` is stable across releases (tests and suppression tables key on
+    it); ``element_ids`` names the elements at fault so tooling can point
+    into DOT renders or MNRL files; ``fixit`` is a short imperative hint.
+    """
+
+    code: str
+    severity: Severity
+    element_ids: tuple[str, ...]
+    message: str
+    fixit: str | None = None
+    #: The registry name of the pass that produced this finding.
+    pass_name: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the LINT.json diagnostic shape)."""
+        out = {
+            "code": self.code,
+            "severity": self.severity.name.lower(),
+            "elements": list(self.element_ids),
+            "message": self.message,
+            "pass": self.pass_name,
+        }
+        if self.fixit is not None:
+            out["fixit"] = self.fixit
+        return out
+
+    def __str__(self) -> str:
+        where = f" [{', '.join(self.element_ids)}]" if self.element_ids else ""
+        hint = f" (fix: {self.fixit})" if self.fixit else ""
+        return f"{self.code} {self.severity.name.lower()}{where}: {self.message}{hint}"
+
+
+@dataclass
+class AnalysisReport:
+    """All diagnostics one :func:`repro.analysis.analyze` call produced.
+
+    ``suppressed`` holds findings removed by a suppression set — they are
+    kept (not dropped) so lint output can show what a suppression is
+    actually hiding.
+    """
+
+    automaton_name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    #: Pass registry names that ran, in order.
+    passes_run: tuple[str, ...] = ()
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        """Unsuppressed diagnostics at or above ``severity``."""
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def max_severity(self) -> Severity | None:
+        """Highest unsuppressed severity, or None when clean."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def codes(self) -> set[str]:
+        """The set of unsuppressed diagnostic codes."""
+        return {d.code for d in self.diagnostics}
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def element_ids(self, code: str) -> set[str]:
+        """Union of element ids across unsuppressed findings of ``code``."""
+        out: set[str] = set()
+        for diagnostic in self.by_code(code):
+            out.update(diagnostic.element_ids)
+        return out
+
+    def apply_suppressions(self, codes: Iterable[str]) -> "AnalysisReport":
+        """A copy with findings whose code is in ``codes`` moved aside."""
+        suppress = set(codes)
+        kept = [d for d in self.diagnostics if d.code not in suppress]
+        hidden = [d for d in self.diagnostics if d.code in suppress]
+        return AnalysisReport(
+            automaton_name=self.automaton_name,
+            diagnostics=kept,
+            suppressed=self.suppressed + hidden,
+            passes_run=self.passes_run,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (one LINT.json target entry)."""
+        counts = {s.name.lower(): 0 for s in Severity}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity.name.lower()] += 1
+        return {
+            "automaton": self.automaton_name,
+            "passes": list(self.passes_run),
+            "counts": counts,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
+        }

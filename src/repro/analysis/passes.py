@@ -1,0 +1,335 @@
+"""The analyzer's pass registry and the built-in well-formedness passes.
+
+A *pass* is a function ``(automaton, ctx) -> Iterable[Diagnostic]``
+registered under a stable name.  Passes share one
+:class:`AnalysisContext` per ``analyze()`` call, whose memo cache keeps
+each O(states + edges) traversal (reachability, satisfiability) computed
+exactly once however many passes need it.
+
+Default passes (run by :func:`repro.analysis.analyze`):
+
+``structure``
+    One INFO summary line (states/edges/components) — never gates.
+``reachability``
+    Dead states, unreachable reporting states, start-less components,
+    components that can never report.
+``charclass``
+    Unsatisfiable (empty) charsets; charsets disjoint from a declared
+    input alphabet.
+``counters``
+    Counter wiring: no feeders, dead feeders (unreachable threshold),
+    orphaned reset ports, self-reset cycles.
+
+Transform precondition passes (``precondition:*``) are registered here
+too but excluded from the default set — they describe *applicability* of
+a specific transform, not well-formedness, and are invoked by the
+transforms themselves (see :mod:`repro.analysis.preconditions`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.structure import (
+    compact_ids,
+    matchable_idents,
+    reachable_from_starts,
+    reaches_report,
+    structural_summary,
+)
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+
+__all__ = [
+    "AnalysisContext",
+    "PassFn",
+    "PASS_REGISTRY",
+    "DEFAULT_PASSES",
+    "analysis_pass",
+]
+
+
+@dataclass
+class AnalysisContext:
+    """Shared state for one ``analyze()`` call.
+
+    ``alphabet`` (when given) declares the benchmark's input alphabet so
+    the charclass pass can flag states that can never match any real
+    input symbol.  ``params`` carries transform-specific knobs (stride
+    factor, pad symbol).  ``cache`` memoizes graph traversals across
+    passes.
+    """
+
+    alphabet: CharSet | None = None
+    params: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+
+    def reachable(self, automaton: Automaton) -> set[str]:
+        if "reachable" not in self.cache:
+            self.cache["reachable"] = reachable_from_starts(automaton)
+        return self.cache["reachable"]
+
+    def reporting_closure(self, automaton: Automaton) -> set[str]:
+        if "reaches_report" not in self.cache:
+            self.cache["reaches_report"] = reaches_report(automaton)
+        return self.cache["reaches_report"]
+
+    def matchable(self, automaton: Automaton) -> set[str]:
+        if "matchable" not in self.cache:
+            self.cache["matchable"] = matchable_idents(automaton)
+        return self.cache["matchable"]
+
+
+PassFn = Callable[[Automaton, AnalysisContext], Iterable[Diagnostic]]
+
+#: All registered passes, in registration order.
+PASS_REGISTRY: dict[str, PassFn] = {}
+
+
+def analysis_pass(name: str) -> Callable[[PassFn], PassFn]:
+    """Register a pass under ``name`` (decorator)."""
+
+    def register(fn: PassFn) -> PassFn:
+        if name in PASS_REGISTRY:
+            raise ValueError(f"duplicate analysis pass name: {name!r}")
+        PASS_REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def _diag(
+    pass_name: str,
+    code: str,
+    severity: Severity,
+    ids: Iterable[str],
+    message: str,
+    fixit: str | None = None,
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        element_ids=tuple(sorted(ids)),
+        message=message,
+        fixit=fixit,
+        pass_name=pass_name,
+    )
+
+
+# -- structure ----------------------------------------------------------------
+
+
+@analysis_pass("structure")
+def structure_pass(automaton: Automaton, ctx: AnalysisContext):
+    """One INFO line summarising the graph (never gates)."""
+    summary = structural_summary(automaton)
+    yield _diag(
+        "structure",
+        "AZ001",
+        Severity.INFO,
+        (),
+        f"{summary.states} states ({summary.stes} STEs, "
+        f"{summary.counters} counters), {summary.edges} edges, "
+        f"{summary.component_count} components, "
+        f"{summary.start_states} starts, {summary.reporting_states} reporting, "
+        f"{summary.dead_states} dead",
+    )
+
+
+# -- reachability -------------------------------------------------------------
+
+
+@analysis_pass("reachability")
+def reachability_pass(automaton: Automaton, ctx: AnalysisContext):
+    """Dead and unreachable states, start-less and report-less components."""
+    if automaton.n_states == 0:
+        return
+    reachable = ctx.reachable(automaton)
+    can_report = ctx.reporting_closure(automaton)
+
+    dead = [i for i in automaton.idents() if i not in reachable]
+    dead_plain = [i for i in dead if not automaton[i].report]
+    dead_reporting = [i for i in dead if automaton[i].report]
+    if dead_plain:
+        yield _diag(
+            "reachability",
+            "AZ101",
+            Severity.WARNING,
+            dead_plain,
+            f"dead state(s) — no start mode and unreachable from any start, "
+            f"can never be enabled: {compact_ids(dead_plain)}",
+            fixit="remove the states or wire them to a start path",
+        )
+    if dead_reporting:
+        yield _diag(
+            "reachability",
+            "AZ102",
+            Severity.ERROR,
+            dead_reporting,
+            f"reporting element(s) unreachable from any start — the kernel "
+            f"silently under-reports: {compact_ids(dead_reporting)}",
+            fixit="wire a start path to the reporting element or drop it",
+        )
+
+    starts = {e.ident for e in automaton.start_elements()}
+    no_start: list[str] = []
+    no_report: list[str] = []
+    for component in automaton.connected_components():
+        if not component & starts:
+            no_start.extend(component)
+        elif not component & can_report:
+            no_report.extend(component)
+    if no_start:
+        yield _diag(
+            "reachability",
+            "AZ103",
+            Severity.ERROR,
+            no_start,
+            f"component(s) with no start element — entirely inert: "
+            f"{compact_ids(no_start)}",
+            fixit="give the component a start element or delete it",
+        )
+    if no_report:
+        yield _diag(
+            "reachability",
+            "AZ104",
+            Severity.WARNING,
+            no_report,
+            f"component(s) that can never report — activity is invisible: "
+            f"{compact_ids(no_report)}",
+            fixit="mark an element reporting or delete the component",
+        )
+
+
+# -- char classes -------------------------------------------------------------
+
+
+@analysis_pass("charclass")
+def charclass_pass(automaton: Automaton, ctx: AnalysisContext):
+    """Unsatisfiable charsets; charsets disjoint from the input alphabet."""
+    empty = [ste.ident for ste in automaton.stes() if ste.charset.is_empty()]
+    if empty:
+        yield _diag(
+            "charclass",
+            "AZ201",
+            Severity.ERROR,
+            empty,
+            f"unsatisfiable (empty) char class(es) — the state can never "
+            f"match: {compact_ids(empty)}",
+            fixit="fix the generator's charset construction or drop the state",
+        )
+    if ctx.alphabet is not None and not ctx.alphabet.is_empty():
+        disjoint = [
+            ste.ident
+            for ste in automaton.stes()
+            if not ste.charset.is_empty() and (ste.charset & ctx.alphabet).is_empty()
+        ]
+        if disjoint:
+            yield _diag(
+                "charclass",
+                "AZ202",
+                Severity.WARNING,
+                disjoint,
+                f"char class(es) disjoint from the declared input alphabet "
+                f"{ctx.alphabet!r} — unmatchable on benchmark input: "
+                f"{compact_ids(disjoint)}",
+                fixit="restrict the charset to the benchmark alphabet",
+            )
+
+
+# -- counter wiring -----------------------------------------------------------
+
+
+@analysis_pass("counters")
+def counters_pass(automaton: Automaton, ctx: AnalysisContext):
+    """Counter wiring: feeders, thresholds, reset ports, self-reset cycles."""
+    counters = list(automaton.counters())
+    if not counters:
+        return
+    matchable = ctx.matchable(automaton)
+
+    no_feeders = [
+        c.ident for c in counters if not automaton.predecessors(c.ident)
+    ]
+    if no_feeders:
+        yield _diag(
+            "counters",
+            "AZ301",
+            Severity.ERROR,
+            no_feeders,
+            f"counter(s) with no predecessors — can never receive a count "
+            f"event: {compact_ids(no_feeders)}",
+            fixit="wire at least one STE to the counter's count port",
+        )
+
+    bad_threshold: list[str] = []
+    for counter in counters:
+        feeders = automaton.predecessors(counter.ident)
+        if counter.target < 1:
+            bad_threshold.append(counter.ident)
+        elif feeders and not any(f in matchable for f in feeders):
+            # has feeders, but none can ever match: target unreachable
+            bad_threshold.append(counter.ident)
+    if bad_threshold:
+        yield _diag(
+            "counters",
+            "AZ303",
+            Severity.ERROR,
+            bad_threshold,
+            f"counter threshold(s) unreachable — zero target or every "
+            f"feeder is dead/unsatisfiable: {compact_ids(bad_threshold)}",
+            fixit="feed the counter from a live state and use a target >= 1",
+        )
+
+    orphaned: list[str] = []
+    for src, counter in automaton.reset_edges():
+        if src not in matchable:
+            orphaned.append(src)
+    if orphaned:
+        yield _diag(
+            "counters",
+            "AZ302",
+            Severity.WARNING,
+            orphaned,
+            f"reset port source(s) that can never fire — the reset wire is "
+            f"decorative: {compact_ids(orphaned)}",
+            fixit="drive the reset port from a reachable, satisfiable state",
+        )
+
+    self_reset: list[str] = []
+    for counter in counters:
+        sources = set(automaton.reset_predecessors(counter.ident))
+        if not sources:
+            continue
+        # forward closure of the counter's own activations
+        stack = [counter.ident]
+        downstream: set[str] = set()
+        while stack:
+            node = stack.pop()
+            for nxt in automaton.successors(node):
+                if nxt not in downstream:
+                    downstream.add(nxt)
+                    stack.append(nxt)
+        if sources & downstream:
+            self_reset.append(counter.ident)
+    if self_reset:
+        yield _diag(
+            "counters",
+            "AZ304",
+            Severity.WARNING,
+            self_reset,
+            f"self-reset cycle(s) — the counter's own firing can reach its "
+            f"reset port, clearing it: {compact_ids(self_reset)}",
+            fixit="break the activation path from the counter to its reset source",
+        )
+
+
+#: The passes ``analyze()`` runs when none are named explicitly.
+DEFAULT_PASSES: tuple[str, ...] = (
+    "structure",
+    "reachability",
+    "charclass",
+    "counters",
+)

@@ -1,0 +1,198 @@
+"""Transform precondition passes (``AZ4xx``).
+
+Each transform in :mod:`repro.transforms` has structural preconditions;
+violating them used to produce either an ad-hoc ``AutomatonError`` or —
+worse — a silently-wrong automaton (widening a charset that contains the
+pad symbol yields an automaton that "works" but matches the wrong
+language).  These passes make every precondition an explicit, coded
+diagnostic, and :func:`require` turns error-severity findings into a
+:class:`~repro.errors.TransformPreconditionError` so transforms fail
+loudly and uniformly.
+
+The passes are registered as ``precondition:stride`` / ``:widen`` /
+``:merge`` but are *not* part of the analyzer's default pass set: an
+automaton that cannot be strided is not malformed, it is just not a
+bit-level automaton.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.passes import AnalysisContext, analysis_pass
+from repro.analysis.structure import compact_ids
+from repro.core.automaton import Automaton
+from repro.errors import TransformPreconditionError
+
+__all__ = [
+    "check_stride",
+    "check_widen",
+    "check_merge",
+    "require",
+]
+
+
+def _diag(
+    pass_name: str,
+    code: str,
+    severity: Severity,
+    ids: Iterable[str],
+    message: str,
+    fixit: str | None = None,
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        element_ids=tuple(sorted(ids)),
+        message=message,
+        fixit=fixit,
+        pass_name=pass_name,
+    )
+
+
+def check_stride(automaton: Automaton, k: int = 8) -> list[Diagnostic]:
+    """Preconditions of :func:`repro.transforms.striding.stride`."""
+    out: list[Diagnostic] = []
+    counters = [c.ident for c in automaton.counters()]
+    if counters:
+        out.append(
+            _diag(
+                "precondition:stride",
+                "AZ401",
+                Severity.ERROR,
+                counters,
+                f"striding does not support counter elements: "
+                f"{compact_ids(counters)}",
+                fixit="strip or lower the counters before striding",
+            )
+        )
+    stes = list(automaton.stes())
+    if stes:
+        max_symbol = max(max(ste.charset, default=0) for ste in stes)
+        bits_per_symbol = max(1, max_symbol.bit_length())
+        if bits_per_symbol * k > 8:
+            out.append(
+                _diag(
+                    "precondition:stride",
+                    "AZ402",
+                    Severity.ERROR,
+                    (),
+                    f"cannot {k}-stride a {bits_per_symbol}-bit alphabet: "
+                    f"block symbols would exceed one byte",
+                    fixit="use a smaller stride factor or a narrower alphabet",
+                )
+            )
+    return out
+
+
+def check_widen(automaton: Automaton, pad_symbol: int = 0) -> list[Diagnostic]:
+    """Preconditions of :func:`repro.transforms.widening.widen`."""
+    out: list[Diagnostic] = []
+    counters = [c.ident for c in automaton.counters()]
+    if counters:
+        out.append(
+            _diag(
+                "precondition:widen",
+                "AZ403",
+                Severity.ERROR,
+                counters,
+                f"widening does not support counter elements: "
+                f"{compact_ids(counters)}",
+                fixit="widen the STE-only patterns and re-attach counters after",
+            )
+        )
+    conflicted = [
+        ste.ident for ste in automaton.stes() if ste.charset.matches(pad_symbol)
+    ]
+    if conflicted:
+        out.append(
+            _diag(
+                "precondition:widen",
+                "AZ404",
+                Severity.ERROR,
+                conflicted,
+                f"char class(es) contain the pad symbol {pad_symbol:#04x}; the "
+                f"widened automaton would confuse pattern bytes with padding "
+                f"and match the wrong language: {compact_ids(conflicted)}",
+                fixit="choose a pad symbol outside every charset",
+            )
+        )
+    return out
+
+
+def check_merge(automaton: Automaton) -> list[Diagnostic]:
+    """Preconditions of the prefix/suffix merging passes.
+
+    Merging keys element signatures on ``repr(report_code)``; two report
+    states carrying *different* code values with identical reprs would be
+    conflated, silently corrupting the report stream.  Element ``attrs``
+    are not carried through merging either — losing them is legal but
+    worth a warning.
+    """
+    out: list[Diagnostic] = []
+    by_repr: dict[str, list] = {}
+    for element in automaton.reporting_elements():
+        by_repr.setdefault(repr(element.report_code), []).append(element)
+    collided: list[str] = []
+    for _text, elements in by_repr.items():
+        first = elements[0].report_code
+        for other in elements[1:]:
+            code = other.report_code
+            try:
+                same = bool(code == first)
+            except Exception:  # noqa: BLE001 - exotic __eq__: assume collision
+                same = False
+            if not same:
+                collided.extend((elements[0].ident, other.ident))
+    if collided:
+        out.append(
+            _diag(
+                "precondition:merge",
+                "AZ406",
+                Severity.ERROR,
+                set(collided),
+                f"distinct report codes share a repr(); merging would "
+                f"conflate their report streams: {compact_ids(set(collided))}",
+                fixit="give report codes of one automaton distinct reprs",
+            )
+        )
+    with_attrs = [e.ident for e in automaton.elements() if e.attrs]
+    if with_attrs:
+        out.append(
+            _diag(
+                "precondition:merge",
+                "AZ405",
+                Severity.WARNING,
+                with_attrs,
+                f"element attrs are dropped by merging: "
+                f"{compact_ids(with_attrs)}",
+                fixit="re-derive attrs after merging, or don't rely on them",
+            )
+        )
+    return out
+
+
+def require(diagnostics: Iterable[Diagnostic], transform: str) -> None:
+    """Raise :class:`TransformPreconditionError` on any ERROR finding."""
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if errors:
+        raise TransformPreconditionError(transform, errors)
+
+
+# -- registry wrappers (analyzable on demand via analyze(passes=[...])) -------
+
+
+@analysis_pass("precondition:stride")
+def _stride_pass(automaton: Automaton, ctx: AnalysisContext):
+    return check_stride(automaton, int(ctx.params.get("k", 8)))
+
+
+@analysis_pass("precondition:widen")
+def _widen_pass(automaton: Automaton, ctx: AnalysisContext):
+    return check_widen(automaton, int(ctx.params.get("pad_symbol", 0)))
+
+
+@analysis_pass("precondition:merge")
+def _merge_pass(automaton: Automaton, ctx: AnalysisContext):
+    return check_merge(automaton)

@@ -1,0 +1,134 @@
+"""Cheap structural facts shared by analysis passes and ``stats.static``.
+
+Every quantity here is a single O(states + edges) traversal.  The analyzer
+passes consume the reachability sets; :func:`repro.stats.static.compute_static_stats`
+consumes the component census — one implementation, two clients, so Table I
+numbers and lint findings can never disagree about the same graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.automaton import Automaton
+from repro.core.elements import CounterElement, STE
+
+__all__ = [
+    "StructuralSummary",
+    "structural_summary",
+    "reachable_from_starts",
+    "reaches_report",
+    "matchable_idents",
+    "compact_ids",
+]
+
+
+def reachable_from_starts(automaton: Automaton) -> set[str]:
+    """Elements reachable (via activation edges) from any start element.
+
+    Start elements themselves are included.  Everything outside this set
+    can never be enabled, which makes it the analyzer's definition of
+    *dead* (cross-checked against ReferenceEngine traces by the
+    conformance harness).
+    """
+    stack = [e.ident for e in automaton.start_elements()]
+    seen = set(stack)
+    while stack:
+        node = stack.pop()
+        for nxt in automaton.successors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def reaches_report(automaton: Automaton) -> set[str]:
+    """Elements from which some reporting element is reachable.
+
+    Reporting elements themselves are included.  The complement is the
+    set of states whose activity can never contribute to a report.
+    """
+    stack = [e.ident for e in automaton.reporting_elements()]
+    seen = set(stack)
+    while stack:
+        node = stack.pop()
+        for prv in automaton.predecessors(node):
+            if prv not in seen:
+                seen.add(prv)
+                stack.append(prv)
+    return seen
+
+
+def matchable_idents(automaton: Automaton) -> set[str]:
+    """Elements that could ever match/fire: reachable and satisfiable.
+
+    An STE must be reachable from a start *and* carry a non-empty charset;
+    a counter must additionally have at least one matchable feeder.
+    """
+    reachable = reachable_from_starts(automaton)
+    out = {
+        ste.ident
+        for ste in automaton.stes()
+        if ste.ident in reachable and not ste.charset.is_empty()
+    }
+    for counter in automaton.counters():
+        if counter.ident not in reachable:
+            continue
+        if any(p in out for p in automaton.predecessors(counter.ident)):
+            out.add(counter.ident)
+    return out
+
+
+@dataclass(frozen=True)
+class StructuralSummary:
+    """One-pass structural census of an automaton."""
+
+    states: int
+    edges: int
+    stes: int
+    counters: int
+    start_states: int
+    reporting_states: int
+    component_count: int
+    avg_component_size: float
+    std_component_size: float
+    dead_states: int
+
+    @property
+    def edges_per_node(self) -> float:
+        if self.states == 0:
+            return 0.0
+        return self.edges / self.states
+
+
+def structural_summary(automaton: Automaton) -> StructuralSummary:
+    """Compute the :class:`StructuralSummary` of ``automaton``."""
+    sizes = [len(c) for c in automaton.connected_components()]
+    count = len(sizes)
+    mean = sum(sizes) / count if count else 0.0
+    variance = sum((s - mean) ** 2 for s in sizes) / count if count else 0.0
+    n_stes = sum(1 for e in automaton.elements() if isinstance(e, STE))
+    n_counters = sum(1 for e in automaton.elements() if isinstance(e, CounterElement))
+    dead = automaton.n_states - len(reachable_from_starts(automaton))
+    return StructuralSummary(
+        states=automaton.n_states,
+        edges=automaton.n_edges,
+        stes=n_stes,
+        counters=n_counters,
+        start_states=len(automaton.start_elements()),
+        reporting_states=len(automaton.reporting_elements()),
+        component_count=count,
+        avg_component_size=mean,
+        std_component_size=math.sqrt(variance),
+        dead_states=dead,
+    )
+
+
+def compact_ids(ids, limit: int = 8) -> str:
+    """Human-readable id list for diagnostics: first few plus a count."""
+    ids = sorted(ids)
+    if len(ids) <= limit:
+        return ", ".join(ids)
+    shown = ", ".join(ids[:limit])
+    return f"{shown}, … ({len(ids)} total)"

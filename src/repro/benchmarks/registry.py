@@ -302,8 +302,18 @@ _BUILDERS: dict[str, Callable[[float, int], Benchmark]] = {
 BENCHMARK_NAMES: tuple[str, ...] = tuple(_BUILDERS)
 
 
-def build_benchmark(name: str, *, scale: float = 1.0, seed: int = 0) -> Benchmark:
-    """Build one benchmark by its Table I name."""
+def build_benchmark(
+    name: str, *, scale: float = 1.0, seed: int = 0, lint: bool = True
+) -> Benchmark:
+    """Build one benchmark by its Table I name.
+
+    Every built automaton is lint-gated through :mod:`repro.analysis`:
+    unsuppressed ERROR diagnostics raise :class:`~repro.errors.LintError`
+    rather than handing a malformed automaton to an engine.  Suppressions
+    live in :data:`repro.analysis.suppressions.BENCHMARK_SUPPRESSIONS`;
+    pass ``lint=False`` only when deliberately building a broken automaton
+    (e.g. to reproduce a lint failure).
+    """
     try:
         builder = _BUILDERS[name]
     except KeyError:
@@ -312,10 +322,23 @@ def build_benchmark(name: str, *, scale: float = 1.0, seed: int = 0) -> Benchmar
         ) from None
     if scale <= 0:
         raise ValueError("scale must be positive")
-    return builder(scale, seed)
+    bench = builder(scale, seed)
+    if lint:
+        from repro.analysis import lint_benchmark
+        from repro.errors import LintError
+
+        report = lint_benchmark(name, bench.automaton)
+        if report.errors:
+            raise LintError(name, report.errors)
+    return bench
 
 
-def build_suite(*, scale: float = 1.0, seed: int = 0, names=None) -> list[Benchmark]:
+def build_suite(
+    *, scale: float = 1.0, seed: int = 0, names=None, lint: bool = True
+) -> list[Benchmark]:
     """Build the whole suite (or a subset) at one scale."""
     selected = list(names) if names is not None else list(BENCHMARK_NAMES)
-    return [build_benchmark(name, scale=scale, seed=seed) for name in selected]
+    return [
+        build_benchmark(name, scale=scale, seed=seed, lint=lint)
+        for name in selected
+    ]

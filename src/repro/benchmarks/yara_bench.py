@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 import re as _re
-from dataclasses import dataclass
 
 from repro.core.automaton import Automaton
 from repro.engines.base import Engine

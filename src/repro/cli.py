@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``)::
     repro run "Snort" --scale 0.01 --limit 5000 --engine bitset
     repro stats hamming.mnrl
     repro table1 --scale 0.005
+    repro lint --scale 0.01 --fail-on warning
     repro grep 'virus[0-9]+' /path/to/file
     repro conformance --seeds 500
 
@@ -203,6 +204,54 @@ def _cmd_conformance(args) -> int:
     return 0 if summary["clean"] else 1
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import Severity, analyze, lint_benchmark
+
+    threshold = Severity.parse(args.fail_on)
+    reports = []
+    if args.file:
+        automaton = _load_automaton(pathlib.Path(args.file))
+        reports.append(analyze(automaton))
+    else:
+        names = args.names if args.names else BENCHMARK_NAMES
+        for name in names:
+            # lint=False: the gate would raise before we could report.
+            bench = build_benchmark(name, scale=args.scale, seed=args.seed, lint=False)
+            reports.append(
+                lint_benchmark(name, bench.automaton, use_suppressions=not args.no_suppressions)
+            )
+
+    failures = 0
+    for report in reports:
+        findings = report.at_least(threshold)
+        status = "FAIL" if findings else "ok"
+        failures += bool(findings)
+        if args.json:
+            continue
+        shown = [d for d in report.diagnostics if d.severity >= Severity.WARNING]
+        print(f"{report.automaton_name:25s} {status}  "
+              f"({len(report.errors)} errors, {len(report.warnings)} warnings, "
+              f"{len(report.suppressed)} suppressed)")
+        for diagnostic in shown:
+            print(f"    {diagnostic}")
+
+    payload = {
+        "fail_on": threshold.name.lower(),
+        "clean": failures == 0,
+        "reports": [report.to_dict() for report in reports],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_grep(args) -> int:
     automaton = compile_regex(args.pattern, args.flags)
     data = pathlib.Path(args.file).read_bytes()
@@ -295,6 +344,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_conformance)
+
+    p = sub.add_parser(
+        "lint", help="static-analyze benchmark automata (or a saved file)"
+    )
+    p.add_argument("--names", nargs="*", help="subset of benchmarks")
+    p.add_argument("--file", help="lint a saved .mnrl/.anml automaton instead")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--fail-on",
+        choices=["warning", "error"],
+        default="error",
+        help="minimum severity that makes the exit status non-zero",
+    )
+    p.add_argument(
+        "--no-suppressions",
+        action="store_true",
+        help="ignore the per-benchmark suppression table",
+    )
+    p.add_argument("--json", action="store_true", help="print the JSON report")
+    p.add_argument(
+        "--out",
+        default="bench_results/LINT.json",
+        help="report JSON path ('' to skip)",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("grep", help="scan a file with a compiled regex")
     p.add_argument("pattern")

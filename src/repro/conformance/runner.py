@@ -14,6 +14,13 @@ observable behaviour against :class:`~repro.engines.reference.ReferenceEngine`:
 * the **active-set trace** — enabled elements per cycle;
 * the final **counter states** — ``(count, latched, stopped)`` per counter.
 
+Each case is also handed to the static analyzer (:mod:`repro.analysis`):
+the analyzer must not crash, and its universal claims (dead states,
+unsatisfiable charsets, inert counters) are cross-checked against the
+reference trace — the fuzzer deliberately produces the degenerate shapes
+those passes flag, so every campaign doubles as an analyzer soundness
+campaign.
+
 Any mismatch (or a subject crash) becomes a :class:`Divergence`.  The
 runner is the inner loop of :func:`repro.conformance.campaign.run_campaign`
 and of the fixed-seed smoke tests; the shrinker replays it to minimise a
@@ -196,12 +203,41 @@ def _widen_applicable(automaton: Automaton, data: bytes, pad: int = 0) -> bool:
     return pad not in data
 
 
+def _analysis_subjects(automaton: Automaton, data: bytes) -> list[Divergence]:
+    """Lint the case and cross-check analyzer claims against the oracle.
+
+    Two subjects: ``analysis:lint`` (the analyzer itself must never crash
+    on any fuzzer-generated automaton) and ``analysis:crosscheck`` (every
+    universal claim — "state is dead", "charset never matches", "counter
+    never fires" — must hold on the ReferenceEngine's recorded trace for
+    this input).  A violated claim is an analyzer soundness bug.
+    """
+    from repro.analysis import analyze
+    from repro.analysis.crosscheck import claim_violations
+
+    divergences: list[Divergence] = []
+    try:
+        report = analyze(automaton)
+    except Exception as exc:  # noqa: BLE001 - analyzer crash is a finding
+        return [_crash("analysis:lint", exc)]
+    try:
+        violations = claim_violations(automaton, data, report)
+    except Exception as exc:  # noqa: BLE001
+        return [_crash("analysis:crosscheck", exc)]
+    divergences.extend(
+        Divergence("analysis:crosscheck", "claims", violation)
+        for violation in violations
+    )
+    return divergences
+
+
 def run_case(
     automaton: Automaton,
     data: bytes,
     *,
     engine_factories: dict[str, Callable[[Automaton], Engine]] | None = None,
     include_transforms: bool = True,
+    include_analysis: bool = True,
     bit_level: bool = False,
     stream_chunks: tuple[int, ...] = _STREAM_CHUNKS,
 ) -> list[Divergence]:
@@ -210,11 +246,15 @@ def run_case(
     ``engine_factories`` overrides the engine set (the fault-injection
     tests pass deliberately broken engines through here); ``bit_level``
     additionally exercises :func:`~repro.transforms.striding.stride` for
-    k in {2, 4, 8} over the packed input.
+    k in {2, 4, 8} over the packed input.  ``include_analysis`` runs the
+    static analyzer over the case and cross-checks its universal claims
+    against the reference trace (see :mod:`repro.analysis.crosscheck`).
     """
     expected = reference_outcome(automaton, data)
     has_counters = any(True for _ in automaton.counters())
     divergences: list[Divergence] = []
+    if include_analysis:
+        divergences.extend(_analysis_subjects(automaton, data))
 
     factories = engine_factories if engine_factories is not None else default_engine_factories()
     for name, factory in factories.items():

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.baselines.aho_corasick import AhoCorasick
 from repro.core.automaton import Automaton
 from repro.engines.base import ReportEvent, RunResult
+from repro.errors import EngineError
 from repro.engines.vector import VectorEngine
 from repro.regex.ast_nodes import Alt, Concat, Empty, Literal, Node, Repeat
 from repro.regex.compile import compile_parsed
@@ -96,7 +97,8 @@ def max_match_length(automaton: Automaton) -> int | None:
     """Longest input span a match can cover; ``None`` if unbounded.
 
     Computed as the longest start-to-report path; a cycle on any such path
-    makes the match length unbounded.
+    makes the match length unbounded.  An automaton with no start states
+    returns 0 (nothing is ever enabled, so no span is coverable).
     """
     order: list[str] = []
     state: dict[str, int] = {}  # 0 = visiting, 1 = done
@@ -158,6 +160,19 @@ class PrefilterScanner:
         for code, pattern in rules:
             parsed = parse_regex(pattern)
             automaton = compile_parsed(parsed, report_code=code)
+            # A degenerate rule automaton (nothing enabled, or nothing to
+            # report) silently contributes zero matches forever; fail the
+            # compile with a typed error instead.
+            if not automaton.start_elements():
+                raise EngineError(
+                    f"prefilter rule {code!r} ({pattern!r}): automaton has no "
+                    "start states, so it can never be enabled"
+                )
+            if not automaton.reporting_elements():
+                raise EngineError(
+                    f"prefilter rule {code!r} ({pattern!r}): automaton has no "
+                    "reporting states, so it can never match"
+                )
             factors = required_factors(parsed.ast)
             compiled = _CompiledRule(
                 code=code,

@@ -71,9 +71,17 @@ class ReferenceEngine(Engine):
         for src, counter in automaton.reset_edges():
             self._reset_feeds.setdefault(src, []).append(counter)
 
-    def stream(self, *, record_active: bool = False) -> "ReferenceStream":
-        """A streaming session: feed chunks, state persists between feeds."""
-        return ReferenceStream(self, record_active=record_active)
+    def stream(
+        self, *, record_active: bool = False, record_trace: bool = False
+    ) -> "ReferenceStream":
+        """A streaming session: feed chunks, state persists between feeds.
+
+        ``record_trace`` additionally accumulates which elements were ever
+        enabled / ever matched (used by the static-analyzer cross-check).
+        """
+        return ReferenceStream(
+            self, record_active=record_active, record_trace=record_trace
+        )
 
     def run(self, data: bytes, *, record_active: bool = False) -> RunResult:
         session = self.stream(record_active=record_active)
@@ -93,10 +101,19 @@ class ReferenceStream:
     (property-tested: any chunking yields the ``run()`` report stream).
     """
 
-    def __init__(self, engine: ReferenceEngine, *, record_active: bool = False) -> None:
+    def __init__(
+        self,
+        engine: ReferenceEngine,
+        *,
+        record_active: bool = False,
+        record_trace: bool = False,
+    ) -> None:
         self._engine = engine
         self.offset = 0
         self.active_per_cycle: list[int] | None = [] if record_active else None
+        #: Elements ever enabled / ever matched-or-fired (trace mode only).
+        self.ever_enabled: set[str] | None = set() if record_trace else None
+        self.ever_matched: set[str] | None = set() if record_trace else None
         self._counter_state = {
             ident: _CounterState(element)
             for ident, element in engine._counters.items()
@@ -114,6 +131,8 @@ class ReferenceStream:
             offset = base + index
             if active_counts is not None:
                 active_counts.append(len(enabled))
+            if self.ever_enabled is not None:
+                self.ever_enabled |= enabled
 
             fired: list[str] = []
             counter_events: set[str] = set()
@@ -140,10 +159,15 @@ class ReferenceStream:
             for counter_ident in reset_events:
                 counter_state[counter_ident].reset()
 
+            if self.ever_matched is not None:
+                self.ever_matched.update(fired)
+
             # Counters: one count event per cycle with >= 1 matching predecessor.
             for counter_ident in sorted(counter_events):
                 state = counter_state[counter_ident]
                 if state.on_count_event():
+                    if self.ever_matched is not None:
+                        self.ever_matched.add(counter_ident)
                     element = state.element
                     if element.report:
                         reports.append(

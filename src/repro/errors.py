@@ -15,6 +15,35 @@ class AutomatonError(ReproError):
     """An automaton is structurally invalid (dangling edge, bad id, ...)."""
 
 
+class TransformPreconditionError(AutomatonError):
+    """A transform's structural preconditions do not hold.
+
+    Subclasses :class:`AutomatonError` (callers catching the old ad-hoc
+    errors keep working) and carries the analyzer diagnostics that
+    explain *which* precondition failed, with stable ``AZ4xx`` codes.
+    """
+
+    def __init__(self, transform: str, diagnostics) -> None:
+        self.transform = transform
+        self.diagnostics = list(diagnostics)
+        details = "; ".join(str(d) for d in self.diagnostics)
+        super().__init__(f"{transform} preconditions violated: {details}")
+
+
+class LintError(ReproError):
+    """A generated automaton failed static analysis (``repro.analysis``).
+
+    Raised by the lint-gated benchmark registry when a generator emits an
+    automaton with unsuppressed error-severity diagnostics.
+    """
+
+    def __init__(self, name: str, diagnostics) -> None:
+        self.benchmark = name
+        self.diagnostics = list(diagnostics)
+        details = "; ".join(str(d) for d in self.diagnostics)
+        super().__init__(f"benchmark {name!r} failed lint: {details}")
+
+
 class RegexError(ReproError):
     """A regular expression could not be parsed or compiled."""
 

@@ -8,11 +8,17 @@ for counters, and dashed edges for reset wires.
 
 from __future__ import annotations
 
+import re
+
 from repro.core.automaton import Automaton
 from repro.core.charset import CharSet
 from repro.core.elements import CounterElement, STE, StartMode
 
 __all__ = ["to_dot"]
+
+#: A trailing backslash escape that truncation may have cut in half
+#: (``\``, ``\x``, ``\x4``); complete ``\xNN`` sequences do not match.
+_PARTIAL_ESCAPE = re.compile(r"\\(x[0-9a-fA-F]?)?$")
 
 
 def _charset_label(charset: CharSet, max_len: int = 16) -> str:
@@ -20,12 +26,36 @@ def _charset_label(charset: CharSet, max_len: int = 16) -> str:
         return "*"
     label = repr(charset)[len("CharSet[") : -1]
     if len(label) > max_len:
-        label = label[: max_len - 1] + "…"
+        label = label[: max_len - 1]
+        # Never leave half a repr escape (e.g. ``'\x4``) dangling before
+        # the ellipsis; strip backslashes until the tail is whole.
+        while _PARTIAL_ESCAPE.search(label):
+            label = _PARTIAL_ESCAPE.sub("", label)
+        label += "…"
     return label
 
 
 def _escape(text: str) -> str:
-    return text.replace("\\", "\\\\").replace('"', '\\"')
+    """Escape ``text`` for use inside a double-quoted DOT string.
+
+    Beyond ``\\`` and ``"``, control and other non-printable characters
+    (legal in idents and raw-byte charset labels) are rendered as literal
+    ``\\xNN`` / ``\\uNNNN`` text — a raw newline or NUL inside a quoted
+    DOT id breaks Graphviz parsing outright.
+    """
+    out = []
+    for ch in text:
+        if ch == "\\":
+            out.append("\\\\")
+        elif ch == '"':
+            out.append('\\"')
+        elif ch.isprintable():
+            out.append(ch)
+        elif ord(ch) <= 0xFF:
+            out.append(f"\\\\x{ord(ch):02x}")
+        else:
+            out.append(f"\\\\u{ord(ch):04x}")
+    return "".join(out)
 
 
 def to_dot(automaton: Automaton, *, max_states: int = 2000) -> str:

@@ -1,10 +1,15 @@
-"""Static automaton statistics (the structural columns of Table I)."""
+"""Static automaton statistics (the structural columns of Table I).
+
+The traversals live in :mod:`repro.analysis.structure`, shared with the
+static analyzer's passes — one graph census, two clients, so Table I
+numbers and lint findings can never disagree.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
+from repro.analysis.structure import structural_summary
 from repro.core.automaton import Automaton
 
 __all__ = ["StaticStats", "compute_static_stats"]
@@ -36,16 +41,13 @@ class StaticStats:
 
 def compute_static_stats(automaton: Automaton) -> StaticStats:
     """Compute Table-I-style structural statistics for ``automaton``."""
-    sizes = [len(c) for c in automaton.connected_components()]
-    count = len(sizes)
-    mean = sum(sizes) / count if count else 0.0
-    variance = sum((s - mean) ** 2 for s in sizes) / count if count else 0.0
+    summary = structural_summary(automaton)
     return StaticStats(
-        states=automaton.n_states,
-        edges=automaton.n_edges,
-        subgraph_count=count,
-        avg_component_size=mean,
-        std_component_size=math.sqrt(variance),
-        start_states=len(automaton.start_elements()),
-        reporting_states=len(automaton.reporting_elements()),
+        states=summary.states,
+        edges=summary.edges,
+        subgraph_count=summary.component_count,
+        avg_component_size=summary.avg_component_size,
+        std_component_size=summary.std_component_size,
+        start_states=summary.start_states,
+        reporting_states=summary.reporting_states,
     )

@@ -41,8 +41,14 @@ def merge_common_prefixes(automaton: Automaton) -> tuple[Automaton, MergeStats]:
     """Return a prefix-merged copy of ``automaton`` plus statistics.
 
     Counters are never merged (they hold independent run-time state); STEs
-    merge only with STEs.
+    merge only with STEs.  Report-code repr collisions (AZ406) are
+    rejected up front — the merge signature keys on ``repr(report_code)``,
+    so distinct codes with one repr would silently conflate report
+    streams.
     """
+    from repro.analysis.preconditions import check_merge, require
+
+    require(check_merge(automaton), "prefix-merge")
     idents = list(automaton.idents())
     parent: dict[str, str] = {ident: ident for ident in idents}
 

@@ -19,11 +19,11 @@ exact; for unaligned patterns it coarsens the offset to block granularity.
 
 from __future__ import annotations
 
+from repro.analysis.preconditions import check_stride, require
 from repro.core.automaton import Automaton
 from repro.core.charset import CharSet
 from repro.core.elements import StartMode
 from repro.core.nfa import NFA
-from repro.errors import AutomatonError
 
 __all__ = ["stride", "pack_bits"]
 
@@ -55,8 +55,9 @@ def stride(automaton: Automaton, k: int = 8) -> Automaton:
     """
     if k < 1:
         raise ValueError("stride factor must be >= 1")
-    if any(True for _ in automaton.counters()):
-        raise AutomatonError("striding does not support counter elements")
+    # Raises TransformPreconditionError (AZ401 counters, AZ402 alphabet
+    # width) instead of producing a silently-wrong automaton.
+    require(check_stride(automaton, k), "stride")
 
     stes = list(automaton.stes())
     if not stes:
@@ -65,11 +66,6 @@ def stride(automaton: Automaton, k: int = 8) -> Automaton:
 
     max_symbol = max(max(ste.charset, default=0) for ste in stes)
     bits_per_symbol = max(1, max_symbol.bit_length())
-    if bits_per_symbol * k > 8:
-        raise AutomatonError(
-            f"cannot {k}-stride a {bits_per_symbol}-bit alphabet: "
-            f"block symbols would exceed one byte"
-        )
     n_input_symbols = 1 << bits_per_symbol
 
     # Bitmask-based stepping machinery over original states.

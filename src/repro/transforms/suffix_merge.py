@@ -24,7 +24,13 @@ __all__ = ["merge_common_suffixes", "merge_bidirectional"]
 
 
 def merge_common_suffixes(automaton: Automaton) -> tuple[Automaton, MergeStats]:
-    """Return a suffix-merged copy of ``automaton`` plus statistics."""
+    """Return a suffix-merged copy of ``automaton`` plus statistics.
+
+    Like prefix merging, rejects report-code repr collisions (AZ406).
+    """
+    from repro.analysis.preconditions import check_merge, require
+
+    require(check_merge(automaton), "suffix-merge")
     idents = list(automaton.idents())
     parent: dict[str, str] = {ident: ident for ident in idents}
 

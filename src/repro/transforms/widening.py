@@ -13,10 +13,9 @@ moves to the pad state so a report fires only after the full wide encoding
 
 from __future__ import annotations
 
+from repro.analysis.preconditions import check_widen, require
 from repro.core.automaton import Automaton
 from repro.core.charset import CharSet
-from repro.core.elements import STE
-from repro.errors import AutomatonError
 
 __all__ = ["widen"]
 
@@ -27,10 +26,11 @@ def widen(automaton: Automaton, *, pad_symbol: int = 0) -> Automaton:
     The result matches the original patterns on streams where every
     original symbol is followed by ``pad_symbol``; reports fire at the
     offset of the trailing pad byte.  Counters are not supported (the
-    paper's widened YARA rules contain none).
+    paper's widened YARA rules contain none), and a charset containing
+    the pad symbol is rejected (AZ404): the widened automaton would
+    confuse pattern bytes with padding and match the wrong language.
     """
-    if any(True for _ in automaton.counters()):
-        raise AutomatonError("widening does not support counter elements")
+    require(check_widen(automaton, pad_symbol), "widen")
     pad = CharSet.single(pad_symbol)
 
     wide = Automaton(f"{automaton.name}.wide")
@@ -44,7 +44,5 @@ def widen(automaton: Automaton, *, pad_symbol: int = 0) -> Automaton:
         )
         wide.add_edge(ste.ident, f"{ste.ident}~pad")
     for src, dst in automaton.edges():
-        if not isinstance(automaton[src], STE):  # pragma: no cover - guarded above
-            raise AutomatonError("widening does not support counter elements")
         wide.add_edge(f"{src}~pad", dst)
     return wide

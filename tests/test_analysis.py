@@ -1,0 +1,490 @@
+"""Static analyzer tests: the diagnostics model, each built-in pass,
+fault injection (seeded defects must surface with their specific codes),
+the registry lint gate, transform preconditions, the conformance
+cross-check, and the ``repro lint`` CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BENCHMARK_SUPPRESSIONS,
+    DEFAULT_PASSES,
+    PASS_REGISTRY,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze,
+    lint_benchmark,
+    structural_summary,
+)
+from repro.analysis.crosscheck import claim_violations, crosscheck
+from repro.analysis.preconditions import (
+    check_merge,
+    check_stride,
+    check_widen,
+    require,
+)
+from repro.benchmarks.registry import BENCHMARK_NAMES, build_benchmark
+from repro.cli import main
+from repro.conformance.generator import random_case
+from repro.conformance.goldens import GOLDEN_SCALE, GOLDEN_SEED
+from repro.core.automaton import Automaton
+from repro.core.charset import CharSet
+from repro.core.elements import StartMode
+from repro.errors import (
+    AutomatonError,
+    LintError,
+    TransformPreconditionError,
+)
+from repro.io import mnrl_dumps
+from repro.transforms import merge_common_prefixes, stride, widen
+
+
+def chain(n=3, *, report_last=True) -> Automaton:
+    """A clean start -> ... -> report chain; lints with no findings."""
+    a = Automaton("chain")
+    for i in range(n):
+        a.add_ste(
+            f"s{i}",
+            CharSet.from_chars(b"a"),
+            start=StartMode.ALL_INPUT if i == 0 else StartMode.NONE,
+            report=report_last and i == n - 1,
+            report_code=1,
+        )
+    for i in range(n - 1):
+        a.add_edge(f"s{i}", f"s{i + 1}")
+    return a
+
+
+class TestDiagnosticsModel:
+    def test_severity_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("WARNING") is Severity.WARNING
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_report_filters_and_suppressions(self):
+        diag = lambda code, sev: Diagnostic(code, sev, ("x",), "msg")
+        report = AnalysisReport(
+            "t",
+            diagnostics=[
+                diag("AZ201", Severity.ERROR),
+                diag("AZ101", Severity.WARNING),
+            ],
+        )
+        assert [d.code for d in report.errors] == ["AZ201"]
+        assert report.max_severity is Severity.ERROR
+        suppressed = report.apply_suppressions({"AZ201"})
+        assert suppressed.codes() == {"AZ101"}
+        assert [d.code for d in suppressed.suppressed] == ["AZ201"]
+        assert suppressed.max_severity is Severity.WARNING
+
+    def test_to_dict_shape(self):
+        report = analyze(chain())
+        payload = report.to_dict()
+        assert payload["automaton"] == "chain"
+        assert payload["counts"] == {"info": 1, "warning": 0, "error": 0}
+        assert payload["diagnostics"][0]["code"] == "AZ001"
+
+    def test_clean_chain_has_only_structure_info(self):
+        report = analyze(chain())
+        assert report.codes() == {"AZ001"}
+        assert not report.errors and not report.warnings
+        assert report.passes_run == DEFAULT_PASSES
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(KeyError, match="unknown analysis pass"):
+            analyze(chain(), passes=["no-such-pass"])
+
+    def test_precondition_passes_registered_but_not_default(self):
+        assert "precondition:stride" in PASS_REGISTRY
+        assert "precondition:stride" not in DEFAULT_PASSES
+
+
+class TestReachabilityPass:
+    def test_dead_plain_state_az101(self):
+        a = chain()
+        a.add_ste("orphan", CharSet.from_chars(b"a"))
+        a.add_ste("orphan2", CharSet.from_chars(b"b"))
+        a.add_edge("orphan", "orphan2")
+        a.add_edge("orphan2", "s1")  # connected component, still dead
+        report = analyze(a)
+        assert report.element_ids("AZ101") == {"orphan", "orphan2"}
+
+    def test_dead_reporting_state_az102_is_error(self):
+        a = chain()
+        a.add_ste("lost", CharSet.from_chars(b"a"), report=True, report_code=9)
+        a.add_edge("lost", "s1")
+        report = analyze(a)
+        assert report.element_ids("AZ102") == {"lost"}
+        assert "AZ102" in {d.code for d in report.errors}
+
+    def test_startless_component_az103(self):
+        a = chain()
+        a.add_ste("isle1", CharSet.from_chars(b"a"))
+        a.add_ste("isle2", CharSet.from_chars(b"a"), report=True, report_code=2)
+        a.add_edge("isle1", "isle2")
+        report = analyze(a)
+        assert report.element_ids("AZ103") == {"isle1", "isle2"}
+
+    def test_reportless_component_az104(self):
+        a = chain(report_last=False)
+        report = analyze(a)
+        assert report.element_ids("AZ104") == {"s0", "s1", "s2"}
+        assert "AZ104" not in {d.code for d in report.errors}
+
+    def test_empty_automaton_is_clean(self):
+        report = analyze(Automaton("void"))
+        assert not report.errors and not report.warnings
+
+
+class TestCharclassPass:
+    def test_empty_charset_az201(self):
+        a = chain()
+        a.add_ste("never", CharSet.none())
+        a.add_edge("s0", "never")
+        report = analyze(a)
+        assert report.element_ids("AZ201") == {"never"}
+        assert "AZ201" in {d.code for d in report.errors}
+
+    def test_out_of_alphabet_az202_only_with_alphabet(self):
+        a = chain()
+        a.add_ste("off", CharSet.from_chars(b"xyz"))
+        a.add_edge("s0", "off")
+        assert "AZ202" not in analyze(a).codes()
+        report = analyze(a, alphabet=CharSet.from_chars(b"ab"))
+        assert report.element_ids("AZ202") == {"off"}
+
+
+class TestCountersPass:
+    def _counted(self) -> Automaton:
+        a = chain()
+        a.add_counter("cnt", 2, report=True, report_code=7)
+        a.add_edge("s1", "cnt")
+        return a
+
+    def test_well_wired_counter_is_clean(self):
+        report = analyze(self._counted())
+        assert not report.errors and not report.warnings
+
+    def test_no_feeders_az301(self):
+        a = chain()
+        a.add_counter("cnt", 2, report=True, report_code=7)
+        report = analyze(a)
+        assert report.element_ids("AZ301") == {"cnt"}
+
+    def test_zero_target_az303(self):
+        # CounterElement itself rejects target < 1 at construction; force
+        # one through to prove the pass catches it defensively (e.g. a
+        # future io path that skips element validation).
+        b = self._counted()
+        object.__setattr__(b["cnt"], "target", 0)
+        report = analyze(b)
+        assert report.element_ids("AZ303") == {"cnt"}
+
+    def test_dead_feeders_az303(self):
+        a = chain()
+        a.add_counter("cnt", 2, report=True, report_code=7)
+        a.add_ste("deadfeed", CharSet.from_chars(b"a"))
+        a.add_edge("deadfeed", "cnt")
+        report = analyze(a)
+        assert report.element_ids("AZ303") == {"cnt"}
+
+    def test_self_reset_cycle_az304(self):
+        a = self._counted()
+        a.add_ste("after", CharSet.from_chars(b"a"))
+        a.add_edge("cnt", "after")
+        a.add_reset_edge("after", "cnt")
+        report = analyze(a)
+        assert report.element_ids("AZ304") == {"cnt"}
+
+
+class TestFaultInjection:
+    """The ISSUE's three seeded defects, each caught with its exact code."""
+
+    def test_seeded_dead_state_caught_as_az101(self):
+        bench = build_benchmark("File Carving", scale=0.01, lint=False)
+        automaton = bench.automaton
+        automaton.add_ste("seeded-dead", CharSet.from_chars(b"Z"))
+        ident = next(iter(automaton.idents()))
+        automaton.add_edge("seeded-dead", ident)
+        report = lint_benchmark("File Carving", automaton)
+        assert "seeded-dead" in report.element_ids("AZ101")
+
+    def test_seeded_empty_charset_caught_as_az201(self):
+        bench = build_benchmark("File Carving", scale=0.01, lint=False)
+        automaton = bench.automaton
+        automaton.add_ste("seeded-empty", CharSet.none(), start=StartMode.ALL_INPUT)
+        report = lint_benchmark("File Carving", automaton)
+        assert report.element_ids("AZ201") == {"seeded-empty"}
+        assert "AZ201" in {d.code for d in report.errors}
+
+    def test_seeded_orphaned_reset_caught_as_az302(self):
+        a = chain()
+        a.add_counter("cnt", 2, report=True, report_code=7)
+        a.add_edge("s1", "cnt")
+        a.add_ste("ghost", CharSet.from_chars(b"a"))  # dead: never fires
+        a.add_reset_edge("ghost", "cnt")
+        report = analyze(a)
+        assert report.element_ids("AZ302") == {"ghost"}
+
+
+class TestRegistryGate:
+    def test_gate_raises_lint_error_on_broken_builder(self, monkeypatch):
+        from repro.benchmarks import registry
+        from repro.benchmarks.spec import Benchmark
+
+        def broken(scale, seed):
+            a = Automaton("broken")
+            a.add_ste("bad", CharSet.none(), start=StartMode.ALL_INPUT)
+            return Benchmark(
+                name="Broken", domain="t", input_desc="t",
+                automaton=a, input_data=b"x",
+            )
+
+        monkeypatch.setitem(registry._BUILDERS, "Broken", broken)
+        with pytest.raises(LintError, match="AZ201"):
+            build_benchmark("Broken", scale=0.01)
+        # escape hatch for deliberately-broken builds
+        bench = build_benchmark("Broken", scale=0.01, lint=False)
+        assert bench.automaton.n_states == 1
+        # a documented suppression opens the gate
+        monkeypatch.setitem(
+            BENCHMARK_SUPPRESSIONS, "Broken", {"AZ201": "unit test"}
+        )
+        bench = build_benchmark("Broken", scale=0.01)
+        assert bench.name == "Broken"
+
+    def test_lint_error_carries_diagnostics(self):
+        diag = Diagnostic("AZ201", Severity.ERROR, ("x",), "boom")
+        err = LintError("Thing", [diag])
+        assert err.benchmark == "Thing"
+        assert err.diagnostics == [diag]
+        assert "AZ201" in str(err)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_goldens_lint_clean(name):
+    """Every generator's golden-scale automaton passes ``repro lint``.
+
+    This is the CI lint gate: run against the same (scale, seed) the
+    conformance golden digests pin, so drift in a generator that
+    introduces dead states / empty charsets / broken counter wiring
+    fails the default test tier with a named diagnostic.
+    """
+    bench = build_benchmark(name, scale=GOLDEN_SCALE, seed=GOLDEN_SEED, lint=False)
+    report = lint_benchmark(name, bench.automaton)
+    assert not report.errors, [str(d) for d in report.errors]
+    assert not report.warnings, [str(d) for d in report.warnings]
+
+
+class TestPreconditions:
+    def _with_counter(self) -> Automaton:
+        # bit-level charset so stride's alphabet check (AZ402) stays quiet
+        a = Automaton("c")
+        a.add_ste("s0", CharSet.from_chars(bytes([0, 1])), start=StartMode.ALL_INPUT)
+        a.add_counter("cnt", 2, report=True, report_code=1)
+        a.add_edge("s0", "cnt")
+        return a
+
+    def test_stride_counters_az401(self):
+        with pytest.raises(TransformPreconditionError) as exc:
+            stride(self._with_counter(), 2)
+        assert [d.code for d in exc.value.diagnostics] == ["AZ401"]
+        assert exc.value.transform == "stride"
+        # backward compat: still an AutomatonError
+        assert isinstance(exc.value, AutomatonError)
+
+    def test_stride_alphabet_too_wide_az402(self):
+        a = Automaton("w")
+        a.add_ste("s0", CharSet.from_chars(b"\xff"), start=StartMode.ALL_INPUT,
+                  report=True, report_code=1)
+        with pytest.raises(TransformPreconditionError) as exc:
+            stride(a, 2)
+        assert [d.code for d in exc.value.diagnostics] == ["AZ402"]
+
+    def test_stride_zero_still_value_error(self):
+        with pytest.raises(ValueError):
+            stride(chain(), 0)
+
+    def test_widen_counters_az403(self):
+        with pytest.raises(TransformPreconditionError) as exc:
+            widen(self._with_counter())
+        assert "AZ403" in [d.code for d in exc.value.diagnostics]
+
+    def test_widen_pad_conflict_az404(self):
+        a = Automaton("p")
+        a.add_ste("s0", CharSet.from_chars(b"\x00a"), start=StartMode.ALL_INPUT,
+                  report=True, report_code=1)
+        with pytest.raises(TransformPreconditionError) as exc:
+            widen(a)
+        assert [d.code for d in exc.value.diagnostics] == ["AZ404"]
+        # a different pad symbol sidesteps the conflict
+        assert widen(a, pad_symbol=1).n_states == 2
+
+    def test_merge_code_collision_az406(self):
+        class SameRepr:
+            def __repr__(self):
+                return "<code>"
+
+        a = Automaton("m")
+        a.add_ste("r1", CharSet.from_chars(b"a"), start=StartMode.ALL_INPUT,
+                  report=True, report_code=SameRepr())
+        a.add_ste("r2", CharSet.from_chars(b"b"), start=StartMode.ALL_INPUT,
+                  report=True, report_code=SameRepr())
+        with pytest.raises(TransformPreconditionError) as exc:
+            merge_common_prefixes(a)
+        assert "AZ406" in [d.code for d in exc.value.diagnostics]
+
+    def test_require_passes_clean_diagnostics(self):
+        require(check_stride(chain(), 1), "stride")
+        require(check_widen(chain(), 0), "widen")
+        require(check_merge(chain()), "merge")
+
+
+class TestCrosscheck:
+    def test_clean_on_deliberately_dirty_automaton(self):
+        a = chain()
+        a.add_ste("dead", CharSet.from_chars(b"a"))
+        a.add_ste("never", CharSet.none())
+        a.add_edge("s0", "never")
+        a.add_edge("dead", "s1")
+        assert crosscheck(a, b"aaaaab") == []
+
+    def test_false_dead_claim_is_flagged(self):
+        a = chain()
+        report = analyze(a)
+        report.diagnostics.append(
+            Diagnostic("AZ101", Severity.WARNING, ("s1",), "bogus claim")
+        )
+        problems = claim_violations(a, b"aaa", report)
+        assert problems and "'s1'" in problems[0]
+
+    def test_false_unsatisfiable_claim_is_flagged(self):
+        a = chain()
+        report = analyze(a)
+        report.diagnostics.append(
+            Diagnostic("AZ201", Severity.ERROR, ("s0",), "bogus claim")
+        )
+        problems = claim_violations(a, b"aaa", report)
+        assert any("unsatisfiable" in p for p in problems)
+
+    def test_suppressed_claims_still_checked(self):
+        a = chain()
+        report = analyze(a).apply_suppressions(())
+        report.suppressed.append(
+            Diagnostic("AZ101", Severity.WARNING, ("s0",), "hidden bogus claim")
+        )
+        assert claim_violations(a, b"aaa", report)
+
+    def test_fuzz_smoke_no_violations(self):
+        for seed in range(60):
+            case = random_case(seed)
+            assert crosscheck(case.automaton, case.data) == [], f"seed {seed}"
+
+    @pytest.mark.fuzz
+    def test_fuzz_campaign_no_violations(self):
+        """Acceptance: 200 seeds, zero analyzer/reference disagreements."""
+        for seed in range(200):
+            case = random_case(seed)
+            assert crosscheck(case.automaton, case.data) == [], f"seed {seed}"
+
+
+class TestConformanceWiring:
+    def test_run_case_includes_analysis_subjects(self, monkeypatch):
+        from repro.analysis import crosscheck as crosscheck_mod
+        from repro.conformance.runner import run_case
+
+        case = random_case(3)
+        monkeypatch.setattr(
+            crosscheck_mod,
+            "claim_violations",
+            lambda automaton, data, report: ["fabricated violation"],
+        )
+        divergences = run_case(
+            case.automaton, case.data, include_transforms=False
+        )
+        subjects = {d.subject for d in divergences}
+        assert "analysis:crosscheck" in subjects
+
+    def test_analyzer_crash_becomes_divergence(self, monkeypatch):
+        import repro.analysis
+        from repro.conformance.runner import run_case
+
+        case = random_case(3)
+
+        def boom(automaton, **kwargs):
+            raise RuntimeError("analyzer exploded")
+
+        monkeypatch.setattr(repro.analysis, "analyze", boom)
+        divergences = run_case(
+            case.automaton, case.data, include_transforms=False
+        )
+        crash = [d for d in divergences if d.subject == "analysis:lint"]
+        assert crash and crash[0].field == "crash"
+
+    def test_include_analysis_false_skips(self, monkeypatch):
+        import repro.analysis
+        from repro.conformance.runner import run_case
+
+        case = random_case(3)
+        monkeypatch.setattr(
+            repro.analysis, "analyze",
+            lambda automaton, **kw: (_ for _ in ()).throw(RuntimeError("no")),
+        )
+        divergences = run_case(
+            case.automaton, case.data,
+            include_transforms=False, include_analysis=False,
+        )
+        assert not [d for d in divergences if d.subject.startswith("analysis")]
+
+
+class TestCLILint:
+    def test_lint_benchmarks_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "LINT.json"
+        code = main(
+            ["lint", "--names", "File Carving", "--scale", "0.01",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "file carving" in capsys.readouterr().out.lower()
+        payload = json.loads(out.read_text())
+        assert payload["clean"] is True
+        assert payload["fail_on"] == "error"
+        assert payload["reports"][0]["automaton"] == "File Carving"
+
+    def test_lint_file_fail_on_warning(self, tmp_path):
+        a = chain()
+        a.add_ste("dead", CharSet.from_chars(b"a"))
+        a.add_edge("dead", "s1")
+        target = tmp_path / "dirty.mnrl"
+        target.write_text(mnrl_dumps(a))
+        assert main(["lint", "--file", str(target), "--out", ""]) == 0
+        assert main(
+            ["lint", "--file", str(target), "--fail-on", "warning", "--out", ""]
+        ) == 1
+
+    def test_lint_json_output(self, tmp_path, capsys):
+        target = tmp_path / "clean.mnrl"
+        target.write_text(mnrl_dumps(chain()))
+        assert main(["lint", "--file", str(target), "--json", "--out", ""]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reports"][0]["counts"]["error"] == 0
+
+
+class TestStructuralSummaryReuse:
+    def test_stats_static_matches_summary(self):
+        from repro.stats import compute_static_stats
+
+        bench = build_benchmark("File Carving", scale=0.01)
+        summary = structural_summary(bench.automaton)
+        stats = compute_static_stats(bench.automaton)
+        assert stats.states == summary.states
+        assert stats.edges == summary.edges
+        assert stats.subgraph_count == summary.component_count
+        assert stats.avg_component_size == summary.avg_component_size
+        assert stats.std_component_size == summary.std_component_size
+        assert stats.start_states == summary.start_states
+        assert stats.reporting_states == summary.reporting_states
+        assert summary.dead_states == 0

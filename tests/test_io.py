@@ -216,3 +216,35 @@ class TestDotExport:
         with pytest.raises(ValueError):
             to_dot(automaton, max_states=50)
         assert to_dot(automaton, max_states=200)
+
+    def test_hostile_names_and_charsets_escape_cleanly(self):
+        from repro.core.automaton import Automaton
+        from repro.io import to_dot
+
+        a = Automaton('evil"\\name\nwith\x00ctl')
+        a.add_ste('s"1', CharSet.from_chars(b'"\\\x00\x01\n'), report=True,
+                  report_code=1)
+        a.add_ste("s\n2", CharSet.from_ranges([(0, 31)]))
+        a.add_edge('s"1', "s\n2")
+        dot = to_dot(a)
+        # raw control bytes would break Graphviz's quoted-string lexer
+        for line in dot.splitlines():
+            assert all(ch.isprintable() for ch in line), repr(line)
+        # every quote inside a quoted string is escaped (even quote count
+        # per line once escapes are removed)
+        for line in dot.splitlines():
+            stripped = line.replace("\\\\", "").replace('\\"', "")
+            assert stripped.count('"') % 2 == 0, repr(line)
+        assert "\\\\x00" in dot  # NUL rendered as literal \x00 text
+
+    def test_charset_label_truncation_never_splits_escape(self):
+        import re
+
+        from repro.io.dot import _charset_label
+
+        wide = CharSet.from_ranges([(0, 254)])  # repr full of \xNN escapes
+        for max_len in range(4, 24):
+            label = _charset_label(wide, max_len=max_len)
+            assert label.endswith("…") or len(label) <= max_len
+            body = label.rstrip("…")
+            assert not re.search(r"\\(x[0-9a-fA-F]?)?$", body), (max_len, label)

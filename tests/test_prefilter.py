@@ -143,3 +143,50 @@ def test_prefilter_equivalence_property(data):
             (r.offset, r.code) for r in VectorEngine(automaton).run(data).reports
         )
     assert got == expected
+
+
+class TestDegenerateRuleGuards:
+    """Rule automata that can never be enabled or never report are a
+    misconfiguration; the scanner fails compile with a typed error."""
+
+    def _patch_compile(self, monkeypatch, automaton):
+        import repro.engines.prefilter as mod
+
+        monkeypatch.setattr(mod, "compile_parsed", lambda parsed, report_code: automaton)
+
+    def test_zero_start_states_raises_engine_error(self, monkeypatch):
+        from repro.core.automaton import Automaton
+        from repro.core.charset import CharSet
+        from repro.errors import EngineError, ReproError
+
+        a = Automaton("no-start")
+        a.add_ste("s0", CharSet.from_chars(b"a"), report=True, report_code=1)
+        self._patch_compile(monkeypatch, a)
+        with pytest.raises(EngineError, match="no start states"):
+            PrefilterScanner([(1, "a")])
+        assert issubclass(EngineError, ReproError)
+
+    def test_zero_reporting_states_raises_engine_error(self, monkeypatch):
+        from repro.core.automaton import Automaton
+        from repro.core.charset import CharSet
+        from repro.core.elements import StartMode
+        from repro.errors import EngineError
+
+        a = Automaton("no-report")
+        a.add_ste("s0", CharSet.from_chars(b"a"), start=StartMode.ALL_INPUT)
+        self._patch_compile(monkeypatch, a)
+        with pytest.raises(EngineError, match="no reporting states"):
+            PrefilterScanner([(1, "a")])
+
+    def test_max_match_length_zero_start_is_zero(self):
+        from repro.core.automaton import Automaton
+        from repro.core.charset import CharSet
+
+        a = Automaton("no-start")
+        a.add_ste("s0", CharSet.from_chars(b"a"), report=True, report_code=1)
+        assert max_match_length(a) == 0
+
+    def test_empty_ruleset_scans_nothing(self):
+        result = PrefilterScanner([]).scan(b"anything")
+        assert result.reports == []
+        assert result.cycles == len(b"anything")

@@ -1,0 +1,95 @@
+"""Code-hygiene gates.
+
+``ruff`` and ``mypy`` are configured in pyproject.toml but are optional
+tooling (``pip install repro[lint]``); their tests skip when the tools
+are not installed so the default tier never depends on extra packages.
+An AST-based unused-import sweep runs unconditionally as the minimal
+always-on slice of the same hygiene bar.
+"""
+
+import ast
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        [shutil.which("ruff"), "check", str(SRC)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def _unused_imports(path: pathlib.Path) -> list[str]:
+    """Approximate ruff's F401 for one module.
+
+    ``import x as x`` / ``from m import x as x`` (the explicit re-export
+    idiom) and ``__init__.py`` re-export surfaces are exempt, matching
+    how ruff treats them in package interfaces.
+    """
+    tree = ast.parse(path.read_text())
+    imported: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname == alias.name:
+                    continue
+                imported[alias.asname or alias.name.split(".")[0]] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*" or alias.asname == alias.name:
+                    continue
+                imported[alias.asname or alias.name] = node.lineno
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            used.add(node.value)  # __all__ entries and doc references
+    return [
+        f"{path.relative_to(REPO)}:{lineno}: unused import {name!r}"
+        for name, lineno in sorted(imported.items(), key=lambda kv: kv[1])
+        if name not in used
+    ]
+
+
+def test_no_unused_imports_in_src():
+    problems = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "__init__.py":
+            continue
+        problems.extend(_unused_imports(path))
+    assert not problems, "\n".join(problems)
+
+
+def test_src_compiles_with_warnings_as_errors():
+    """Every module byte-compiles; syntax rot fails fast even for files
+    no test currently imports."""
+    import py_compile
+
+    for path in sorted(SRC.rglob("*.py")):
+        py_compile.compile(str(path), doraise=True)
