@@ -19,6 +19,7 @@ import time
 
 from conftest import emit
 
+from repro import telemetry
 from repro.benchmarks import build_benchmark
 from repro.engines import ENGINE_REGISTRY, ReferenceEngine
 from repro.errors import EngineError, CapacityError
@@ -79,9 +80,30 @@ def render(results) -> str:
 
 
 def test_engine_throughput(benchmark, scale, results_dir):
-    results = benchmark.pedantic(run_experiment, args=(scale,), rounds=1, iterations=1)
+    # Telemetry rides along (feed-level instrumentation, so the per-symbol
+    # hot loops are untouched); the snapshot lands in the JSON artifact so
+    # a speedup regression comes with its compile/scan/memo breakdown.
+    was_enabled = telemetry.is_enabled()
+    telemetry.enable()
+    telemetry.reset()
+    try:
+        results = benchmark.pedantic(
+            run_experiment, args=(scale,), rounds=1, iterations=1
+        )
+        telemetry_snapshot = telemetry.snapshot()
+    finally:
+        if not was_enabled:
+            telemetry.disable()
     (results_dir / "BENCH_engines.json").write_text(
-        json.dumps({"scale": scale, "input_limit": INPUT_LIMIT, "results": results}, indent=2)
+        json.dumps(
+            {
+                "scale": scale,
+                "input_limit": INPUT_LIMIT,
+                "results": results,
+                "telemetry": telemetry_snapshot,
+            },
+            indent=2,
+        )
         + "\n"
     )
     emit(results_dir, "engine_throughput", render(results))

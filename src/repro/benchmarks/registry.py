@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro import telemetry
 from repro.benchmarks import seqmatch
 from repro.benchmarks.apprng import build_apprng_benchmark, random_input
 from repro.benchmarks.brill import build_brill_automaton, generate_brill_rules
@@ -322,12 +323,14 @@ def build_benchmark(
         ) from None
     if scale <= 0:
         raise ValueError("scale must be positive")
-    bench = builder(scale, seed)
+    with telemetry.span(f"benchmark.build.{name}"):
+        bench = builder(scale, seed)
     if lint:
         from repro.analysis import lint_benchmark
         from repro.errors import LintError
 
-        report = lint_benchmark(name, bench.automaton)
+        with telemetry.span(f"benchmark.lint.{name}"):
+            report = lint_benchmark(name, bench.automaton)
         if report.errors:
             raise LintError(name, report.errors)
     return bench

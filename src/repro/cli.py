@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``)::
     repro lint --scale 0.01 --fail-on warning
     repro grep 'virus[0-9]+' /path/to/file
     repro conformance --seeds 500
+    repro profile --names Snort ClamAV --engine bitset --engine vector
 
 The CLI mirrors what the VASim binary offers the original suite's users:
 generate, simulate, and report statistics, plus MNRL/ANML export so
@@ -252,6 +253,57 @@ def _cmd_lint(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.telemetry.profile import (
+        DEFAULT_BENCHMARKS,
+        DEFAULT_ENGINES,
+        SMOKE_BENCHMARKS,
+        SMOKE_ENGINES,
+        SMOKE_LIMIT,
+        SMOKE_SCALE,
+        run_profile,
+        write_profile,
+    )
+
+    if args.smoke:
+        names = args.names if args.names else SMOKE_BENCHMARKS
+        engines = args.engine if args.engine else list(SMOKE_ENGINES)
+        scale, limit = SMOKE_SCALE, SMOKE_LIMIT
+    else:
+        names = args.names if args.names else DEFAULT_BENCHMARKS
+        engines = args.engine if args.engine else list(DEFAULT_ENGINES)
+        scale, limit = args.scale, args.limit
+    payload = run_profile(
+        names=names,
+        engines=engines,
+        scale=scale,
+        seed=args.seed,
+        limit=limit or None,
+        smoke=args.smoke,
+    )
+    for name, bench_row in payload["benchmarks"].items():
+        print(
+            f"{name}: {bench_row['states']:,} states, "
+            f"build {bench_row['build_s']:.3f}s, lint {bench_row['lint_s']:.3f}s"
+        )
+        for engine_name, row in bench_row["engines"].items():
+            if "skipped" in row:
+                print(f"  {engine_name:10s} skipped: {row['skipped']}")
+            else:
+                print(
+                    f"  {engine_name:10s} compile {row['compile_s']:.3f}s  "
+                    f"scan {row['scan_s']:.3f}s  {row['ksym_per_s'] or 0:.1f} ksym/s  "
+                    f"{row['reports']} reports  "
+                    f"mean active {row['mean_active_set']:.2f}"
+                )
+    cache = payload["cache"]
+    print(f"cache: {cache['hits']} hits, {cache['misses']} misses")
+    if args.out:
+        out = write_profile(payload, args.out)
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_grep(args) -> int:
     automaton = compile_regex(args.pattern, args.flags)
     data = pathlib.Path(args.file).read_bytes()
@@ -370,6 +422,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="report JSON path ('' to skip)",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "profile",
+        help="instrumented benchmark/engine sweep -> bench_results/PROFILE.json",
+    )
+    p.add_argument("--names", nargs="*", help="benchmarks (default: Snort, ClamAV, Random Forest A)")
+    p.add_argument(
+        "--engine",
+        action="append",
+        choices=sorted(ENGINE_REGISTRY),
+        help="engine to profile; repeatable (default: all registered engines)",
+    )
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--limit", type=int, default=10_000, help="max input symbols (0 = all)")
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast sweep (fixed small scale/limit, CPU engines only)",
+    )
+    p.add_argument(
+        "--out",
+        default="bench_results/PROFILE.json",
+        help="profile JSON path ('' to skip)",
+    )
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("grep", help="scan a file with a compiled regex")
     p.add_argument("pattern")

@@ -15,6 +15,7 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.conformance.generator import CaseConfig, random_case
 from repro.conformance.runner import Divergence, run_case
 from repro.conformance.shrink import save_repro, shrink_case
@@ -82,11 +83,15 @@ def run_campaign(
     for index in range(n_seeds):
         seed = start_seed + index
         bit_level = index % _BIT_LEVEL_EVERY == _BIT_LEVEL_EVERY - 1
-        case = random_case(seed, config=config, bit_level=bit_level)
+        with telemetry.span("conformance.generate"):
+            case = random_case(seed, config=config, bit_level=bit_level)
         run_kwargs = dict(
             engine_factories=engine_factories, bit_level=bit_level
         )
-        divergences = run_case(case.automaton, case.data, **run_kwargs)
+        with telemetry.span("conformance.case"):
+            divergences = run_case(case.automaton, case.data, **run_kwargs)
+        telemetry.incr("conformance.cases")
+        telemetry.incr("conformance.divergences", len(divergences))
         if progress is not None:
             progress(index + 1, len(divergences))
         for divergence in divergences:

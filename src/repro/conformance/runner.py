@@ -33,6 +33,7 @@ import json
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.core.automaton import Automaton
 from repro.engines import ENGINE_REGISTRY
 from repro.engines.base import Engine
@@ -111,14 +112,15 @@ def engine_outcome(
     additionally interleaves empty feeds (chunk boundaries and zero-length
     feeds must both be invisible to the automaton).
     """
-    stream = engine.stream(record_active=True)
-    reports = []
-    for part in _chunks(data, chunk):
+    with telemetry.span(f"conformance.scan.{type(engine).__name__}"):
+        stream = engine.stream(record_active=True)
+        reports = []
+        for part in _chunks(data, chunk):
+            if zero_feeds:
+                reports.extend(stream.feed(b""))
+            reports.extend(stream.feed(part))
         if zero_feeds:
             reports.extend(stream.feed(b""))
-        reports.extend(stream.feed(part))
-    if zero_feeds:
-        reports.extend(stream.feed(b""))
     return Outcome(
         reports=_canonical_reports(reports),
         active=list(stream.active_per_cycle or []),

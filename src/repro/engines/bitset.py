@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.automaton import Automaton
 from repro.core.elements import CounterElement, STE, StartMode
 from repro.engines.base import Engine, ReportEvent, RunResult
@@ -66,6 +67,7 @@ class BitsetEngine(Engine):
 
     def __init__(self, automaton: Automaton, *, max_states: int = 65536) -> None:
         super().__init__(automaton)
+        compile_t0 = telemetry.clock()
         stes: list[STE] = list(automaton.stes())
         n = len(stes)
         if n > max_states:
@@ -191,6 +193,7 @@ class BitsetEngine(Engine):
         # per-bit walk costs ~1 unit per matched bit, the block walk ~2
         # units per mask byte regardless of density.
         self._block_cutover = max(4, n >> 2)
+        telemetry.record_compile("bitset", compile_t0, n)
 
     # -- helpers -----------------------------------------------------------
 
@@ -243,6 +246,7 @@ class BitsetStream:
         self._use_block = False
 
     def feed(self, data: bytes) -> list[ReportEvent]:
+        scan_t0 = telemetry.clock()
         engine = self._engine
         reports: list[ReportEvent] = []
         base = self.offset
@@ -251,16 +255,21 @@ class BitsetStream:
         cutover = engine._block_cutover
         pos = 0
         length = len(data)
+        total_pop = 0
         while pos < length:
             end = min(pos + _BLOCK_SYMBOLS, length)
             step = self._run_block if use_block else self._run_sparse
             rest, matched_pop = step(data, pos, end, rest, base, reports)
             use_block = matched_pop > cutover * (end - pos)
+            total_pop += matched_pop
             pos = end
         self._rest = rest
         self._use_block = use_block
         self.offset = base + length
         reports.sort()
+        if scan_t0 is not None:
+            telemetry.record_scan("bitset", scan_t0, length, len(reports))
+            telemetry.incr("engine.matched_states.bitset", total_pop)
         return reports
 
     # Both path loops share the same skeleton: record popcount, AND with

@@ -16,10 +16,10 @@ pools can share it.
 
 Cached engines are shared objects: all engines in this library are
 immutable after construction with per-run state held in stream sessions,
-so sharing is safe.  (:class:`~repro.engines.lazydfa.LazyDFAEngine` grows
-its memo table across runs — still semantically safe, but its memo is not
-guarded for concurrent *threaded* mutation; use per-thread engines if you
-hammer one lazy DFA from many threads.)
+so sharing is safe.  :class:`~repro.engines.lazydfa.LazyDFAEngine` grows
+its memo table across runs; that growth happens under the engine's own
+lock (see the thread-safety contract in :mod:`repro.engines.lazydfa`), so
+one lazy DFA served from this cache can be hammered from many threads.
 
 The fingerprint is a structural SHA-256 over elements, charsets, start and
 report flags, edges and reset wires.  It is cached on the automaton object
@@ -35,6 +35,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.core.automaton import Automaton
 from repro.core.elements import CounterElement, STE
 from repro.engines.base import Engine
@@ -136,8 +137,10 @@ def compiled_engine(
         if engine is not None:
             _cache.move_to_end(key)
             _hits += 1
+            telemetry.incr("cache.hit")
             return engine
         _misses += 1
+        telemetry.incr("cache.miss")
     # Compile outside the lock: construction can take seconds and must not
     # serialise unrelated workers.  A racing duplicate compile is benign.
     engine = engine_cls(automaton, **options)
@@ -146,6 +149,7 @@ def compiled_engine(
         _cache.move_to_end(key)
         while len(_cache) > _maxsize:
             _cache.popitem(last=False)
+            telemetry.incr("cache.eviction")
     return engine
 
 

@@ -11,12 +11,25 @@ symbol.
 Counters make the reachable state space input-history-dependent, so this
 engine rejects automata containing counter elements — exactly as Hyperscan
 rejects features outside its model.
+
+**Thread safety.**  The memo table grows across runs, and the shared
+compile cache (:mod:`repro.engines.cache`) hands one engine instance to
+every thread, so all memo growth — subset interning, transition/emit
+writes, dense-table promotion — happens under ``_lock``.  Scan loops stay
+lock-free: they read published rows only, and an unexplored transition
+(-1) sends them through :meth:`LazyDFAEngine._compute`, which re-checks
+under the lock.  The transition write is the *last* store of a compute
+(after the emit-table write), so a lock-free reader that observes the new
+state id also observes its reports.
 """
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
+from repro import telemetry
 from repro.core.automaton import Automaton
 from repro.core.elements import STE, StartMode
 from repro.engines.base import Engine, ReportEvent, RunResult
@@ -30,9 +43,13 @@ class LazyDFAEngine(Engine):
 
     def __init__(self, automaton: Automaton, *, max_dfa_states: int = 2_000_000) -> None:
         super().__init__(automaton)
+        compile_t0 = telemetry.clock()
         if any(True for _ in automaton.counters()):
             raise EngineError("LazyDFAEngine does not support counter elements")
         self._max_dfa_states = max_dfa_states
+        #: Guards all memo growth (interning, transition/emit writes,
+        #: promotion); see the module docstring's thread-safety contract.
+        self._lock = threading.Lock()
 
         stes: list[STE] = list(automaton.stes())
         self._idents = [ste.ident for ste in stes]
@@ -71,11 +88,14 @@ class LazyDFAEngine(Engine):
         #: Memo misses so far (on-demand _compute calls); the stream loop
         #: uses it to detect a miss-free block and trigger promotion.
         self._compute_count = 0
-        self._initial_id = self._intern(initial)
+        with self._lock:
+            self._initial_id = self._intern(initial)
+        telemetry.record_compile("lazydfa", compile_t0, len(stes))
 
     # -- construction ------------------------------------------------------
 
     def _intern(self, state_set: frozenset[int]) -> int:
+        """Intern one subset; the caller must hold ``_lock``."""
         sid = self._set_to_id.get(state_set)
         if sid is None:
             if len(self._id_to_set) >= self._max_dfa_states:
@@ -88,29 +108,38 @@ class LazyDFAEngine(Engine):
             self._id_to_set.append(state_set)
             self._trans.append(np.full(256, -1, dtype=np.int64))
             self._emits.append({})
-            self._trans_table = None
-            self._trans_rows = None
-            self._emit_bits = None
+            telemetry.incr("lazydfa.dfa_states")
         return sid
 
     def _compute(self, sid: int, symbol: int) -> int:
-        self._compute_count += 1
-        current = self._id_to_set[sid]
-        matched = [i for i in current if self._charsets[i].matches(symbol)]
-        emits = tuple(
-            (self._idents[i], self._codes[i]) for i in matched if self._report[i]
-        )
-        nxt: set[int] = set(self._all_input)
-        for i in matched:
-            nxt.update(self._succ[i])
-        nid = self._intern(frozenset(nxt))
-        self._trans[sid][symbol] = nid
-        if emits:
-            self._emits[sid][symbol] = emits
-        self._trans_table = None
-        self._trans_rows = None
-        self._emit_bits = None
-        return nid
+        with self._lock:
+            # Another thread may have computed this transition between our
+            # lock-free -1 read and acquiring the lock.
+            nid = int(self._trans[sid][symbol])
+            if nid >= 0:
+                return nid
+            self._compute_count += 1
+            telemetry.incr("lazydfa.memo_computes")
+            current = self._id_to_set[sid]
+            matched = [i for i in current if self._charsets[i].matches(symbol)]
+            emits = tuple(
+                (self._idents[i], self._codes[i]) for i in matched if self._report[i]
+            )
+            nxt: set[int] = set(self._all_input)
+            for i in matched:
+                nxt.update(self._succ[i])
+            nid = self._intern(frozenset(nxt))
+            if emits:
+                self._emits[sid][symbol] = emits
+            if self._trans_rows is not None:
+                telemetry.incr("lazydfa.demotions")
+            self._trans_table = None
+            self._trans_rows = None
+            self._emit_bits = None
+            # Publish last: lock-free readers treat a non-negative
+            # transition as "emits for this (sid, symbol) are in place".
+            self._trans[sid][symbol] = nid
+            return nid
 
     # Promotion above this many DFA states would cost more memory in list
     # cells than the lookup savings are worth; the per-row path stays.
@@ -123,20 +152,26 @@ class LazyDFAEngine(Engine):
         stream loop once a full block of symbols runs without a memo miss;
         any later subset-construction growth invalidates the tables again.
         """
-        if self._trans_rows is not None:
+        with self._lock:
+            if self._trans_rows is not None:
+                return True
+            if len(self._trans) > self._PROMOTE_MAX_STATES:
+                return False
+            self._trans_table = np.vstack(self._trans)
+            trans_rows = self._trans_table.tolist()
+            emit_bits = []
+            for per_symbol in self._emits:
+                bits = 0
+                for symbol in per_symbol:
+                    bits |= 1 << symbol
+                emit_bits.append(bits)
+            self._emit_bits = emit_bits
+            # Publish the rows last: the stream loop's promoted-path guard
+            # is ``_trans_rows is not None``, so emit bits must be in
+            # place before rows become visible.
+            self._trans_rows = trans_rows
+            telemetry.incr("lazydfa.promotions")
             return True
-        if len(self._trans) > self._PROMOTE_MAX_STATES:
-            return False
-        self._trans_table = np.vstack(self._trans)
-        self._trans_rows = self._trans_table.tolist()
-        emit_bits = []
-        for per_symbol in self._emits:
-            bits = 0
-            for symbol in per_symbol:
-                bits |= 1 << symbol
-            emit_bits.append(bits)
-        self._emit_bits = emit_bits
-        return True
 
     @property
     def dfa_state_count(self) -> int:
@@ -181,6 +216,7 @@ class LazyDFAStream:
         self._sid = engine._initial_id
 
     def feed(self, data: bytes) -> list[ReportEvent]:
+        scan_t0 = telemetry.clock()
         engine = self._engine
         reports: list[ReportEvent] = []
         sid = self._sid
@@ -204,6 +240,8 @@ class LazyDFAStream:
         self._sid = sid
         self.offset = base + length
         reports.sort()
+        if scan_t0 is not None:
+            telemetry.record_scan("lazydfa", scan_t0, length, len(reports))
         return reports
 
     def _run_slow(self, data, pos, end, sid, base, reports):
@@ -238,6 +276,11 @@ class LazyDFAStream:
         active_counts = self.active_per_cycle
         rows = engine._trans_rows
         emit_bits = engine._emit_bits
+        if rows is None or emit_bits is None:
+            # Demoted by a concurrent thread between the caller's check and
+            # our captures; make no progress and let the caller fall back
+            # to the slow path.
+            return sid, pos
         emits = engine._emits
         id_to_set = engine._id_to_set
         for index in range(pos, end):

@@ -18,8 +18,10 @@ are rejected.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.core.automaton import Automaton
 from repro.engines.base import Engine, ReportEvent, RunResult
 from repro.engines.cache import compiled_engine
@@ -42,33 +44,56 @@ class Segment:
 def split_with_overlap(
     data_length: int, n_segments: int, overlap: int
 ) -> list[Segment]:
-    """Partition ``[0, data_length)`` into segments with left overlap."""
+    """Partition ``[0, data_length)`` into segments with left overlap.
+
+    The keep ranges ``[keep_from, end)`` always form a covering,
+    non-overlapping partition of the input, every segment is non-empty
+    (sizes differ by at most one symbol), and no more segments are
+    produced than there are symbols — ``n_segments > data_length``
+    degenerates to one segment per symbol rather than to empty or dropped
+    segments.  A zero-length input yields the single empty segment.
+    """
     if n_segments < 1:
         raise ValueError("need at least one segment")
-    base = data_length // n_segments
+    if overlap < 0:
+        raise ValueError("overlap cannot be negative")
+    count = max(1, min(n_segments, data_length))
+    base, extra = divmod(data_length, count)
     segments = []
-    for index in range(n_segments):
-        keep_from = index * base
-        end = data_length if index == n_segments - 1 else (index + 1) * base
-        scan_start = max(0, keep_from - overlap)
-        if keep_from < end or index == 0:
-            segments.append(Segment(scan_start, keep_from, end))
+    keep_from = 0
+    for index in range(count):
+        end = keep_from + base + (1 if index < extra else 0)
+        segments.append(Segment(max(0, keep_from - overlap), keep_from, end))
+        keep_from = end
     return segments
 
 
 def _scan_segment(args):
-    automaton, data, segment, engine_cls = args
+    automaton, data, segment, engine_cls, collect = args
+    # ``collect`` carries the parent's telemetry switch across the process
+    # boundary; pool workers start with the import default (disabled).
+    # Thread-pool workers share the parent registry, so only toggle when
+    # the flag is actually off here.
+    was_enabled = telemetry.is_enabled()
+    if collect and not was_enabled:
+        telemetry.enable()
+    before = telemetry.snapshot() if collect else None
     # The compile cache keys on the automaton's structural fingerprint, so
     # every segment of every call — including segments handled by the same
     # process-pool worker across tasks, where the pickled automaton is a
     # fresh object each time — reuses one compiled engine per worker.
     engine = compiled_engine(automaton, engine_cls)
-    result = engine.run(data[segment.scan_start : segment.end])
-    return [
+    with telemetry.span("parallel.segment"):
+        result = engine.run(data[segment.scan_start : segment.end])
+    events = [
         ReportEvent(event.offset + segment.scan_start, event.ident, event.code)
         for event in result.reports
         if event.offset + segment.scan_start >= segment.keep_from
     ]
+    delta = telemetry.diff_snapshots(before, telemetry.snapshot()) if collect else None
+    if collect and not was_enabled:
+        telemetry.disable()
+    return events, delta
 
 
 def parallel_scan(
@@ -102,12 +127,22 @@ def parallel_scan(
         )
     segments = split_with_overlap(len(data), n_segments, max(window - 1, 0))
     cls = engine_cls if engine_cls is not None else VectorEngine
-    tasks = [(automaton, data, segment, cls) for segment in segments]
+    collect = telemetry.is_enabled()
+    telemetry.incr("parallel.scans")
+    telemetry.incr("parallel.segments", len(segments))
+    tasks = [(automaton, data, segment, cls, collect) for segment in segments]
     if pool is None:
         parts = [_scan_segment(task) for task in tasks]
     else:
         parts = list(pool.map(_scan_segment, tasks))
-    reports = sorted(event for part in parts for event in part)
+    # Counter/timer deltas recorded inside *other processes* (a process
+    # pool) are merged back here; same-pid deltas (serial path or thread
+    # pools) already live in this registry.
+    pid = os.getpid()
+    for _, delta in parts:
+        if delta is not None and delta.get("pid") != pid:
+            telemetry.merge(delta)
+    reports = sorted(event for part, _ in parts for event in part)
     return RunResult(reports=reports, cycles=len(data))
 
 

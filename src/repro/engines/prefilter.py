@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.baselines.aho_corasick import AhoCorasick
 from repro.core.automaton import Automaton
 from repro.engines.base import ReportEvent, RunResult
@@ -201,6 +202,7 @@ class PrefilterScanner:
 
     def scan(self, data: bytes) -> RunResult:
         """Run all rules; equivalent to full scans of every automaton."""
+        scan_t0 = telemetry.clock()
         # Dedupe on (offset, ident, code): ReportEvent equality ignores the
         # code, but two rules sharing a pattern produce same-named states
         # with different codes and both reports must survive.
@@ -209,20 +211,29 @@ class PrefilterScanner:
         def record(event: ReportEvent) -> None:
             events[(event.offset, event.ident, repr(event.code))] = event
         # candidate windows per rule from factor hits
+        n_factor_hits = 0
+        rules_confirmed = 0
+        rules_gated_off = 0
+        confirm_bytes = 0
         hits: dict[int, list[int]] = {}
         if self._matcher is not None:
             for offset, factor_index in self._matcher.search(data):
                 hits.setdefault(self._factor_rules[factor_index], []).append(offset)
+                n_factor_hits += 1
 
         for rule_index, rule in enumerate(self.rules):
             if rule.factors is None:
+                confirm_bytes += len(data)
                 for event in rule.engine.run(data).reports:
                     record(event)
                 continue
             offsets = hits.get(rule_index)
             if not offsets:
+                rules_gated_off += 1
                 continue  # factor absent: rule cannot match
+            rules_confirmed += 1
             if rule.window is None:
+                confirm_bytes += len(data)
                 for event in rule.engine.run(data).reports:
                     record(event)
                 continue
@@ -231,6 +242,7 @@ class PrefilterScanner:
                 # anchored matches live in the first `window` bytes; a
                 # slice not starting at 0 would re-anchor incorrectly
                 if min(offsets) <= window:
+                    confirm_bytes += min(window, len(data))
                     for event in rule.engine.run(data[:window]).reports:
                         record(event)
                 continue
@@ -244,9 +256,16 @@ class PrefilterScanner:
                 else:
                     spans.append([start, end])
             for start, end in spans:
+                confirm_bytes += end - start
                 for event in rule.engine.run(data[start:end]).reports:
                     record(
                         ReportEvent(event.offset + start, event.ident, event.code)
                     )
         reports = sorted(events.values(), key=lambda e: (e.offset, e.ident))
+        if scan_t0 is not None:
+            telemetry.record_scan("prefilter", scan_t0, len(data), len(reports))
+            telemetry.incr("prefilter.factor_hits", n_factor_hits)
+            telemetry.incr("prefilter.rules_confirmed", rules_confirmed)
+            telemetry.incr("prefilter.rules_gated_off", rules_gated_off)
+            telemetry.incr("prefilter.confirm_bytes", confirm_bytes)
         return RunResult(reports=reports, cycles=len(data))

@@ -10,6 +10,7 @@ the active set and therefore CPU runtime).
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.core.automaton import Automaton
 from repro.core.elements import CounterElement, CounterMode, STE, StartMode
 from repro.engines.base import Engine, ReportEvent, RunResult
@@ -56,6 +57,7 @@ class ReferenceEngine(Engine):
 
     def __init__(self, automaton: Automaton) -> None:
         super().__init__(automaton)
+        compile_t0 = telemetry.clock()
         self._stes: dict[str, STE] = {e.ident: e for e in automaton.stes()}
         self._counters: dict[str, CounterElement] = {
             e.ident: e for e in automaton.counters()
@@ -70,6 +72,7 @@ class ReferenceEngine(Engine):
         self._reset_feeds: dict[str, list[str]] = {}
         for src, counter in automaton.reset_edges():
             self._reset_feeds.setdefault(src, []).append(counter)
+        telemetry.record_compile("reference", compile_t0, len(self._stes))
 
     def stream(
         self, *, record_active: bool = False, record_trace: bool = False
@@ -121,6 +124,7 @@ class ReferenceStream:
         self._enabled: set[str] = set(engine._start_of_data) | set(engine._all_input)
 
     def feed(self, data: bytes) -> list[ReportEvent]:
+        scan_t0 = telemetry.clock()
         engine = self._engine
         reports: list[ReportEvent] = []
         active_counts = self.active_per_cycle
@@ -185,4 +189,6 @@ class ReferenceStream:
         self._enabled = enabled
         self.offset = base + len(data)
         reports.sort()
+        if scan_t0 is not None:
+            telemetry.record_scan("reference", scan_t0, len(data), len(reports))
         return reports

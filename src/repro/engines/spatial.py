@@ -74,7 +74,20 @@ class SpatialModel:
         return self.chips_required(automaton) == 1
 
     def utilization(self, automaton: Automaton | int) -> float:
-        """Fraction of one chip's state budget the automaton occupies."""
+        """Fraction of one chip's *usable* state budget the automaton occupies.
+
+        Measured against :attr:`effective_capacity` so it is consistent
+        with :meth:`chips_required` / :meth:`fits`: utilization <= 1.0 iff
+        the automaton fits on one chip.  (Historically this divided by the
+        raw ``state_capacity``, so a D480 automaton between effective and
+        raw capacity reported < 100% utilization while ``fits()`` was
+        False.)  Use :meth:`raw_utilization` for the routing-blind figure.
+        """
+        states = automaton if isinstance(automaton, int) else automaton.n_states
+        return states / self.effective_capacity
+
+    def raw_utilization(self, automaton: Automaton | int) -> float:
+        """Fraction of the raw silicon state budget, ignoring routing."""
         states = automaton if isinstance(automaton, int) else automaton.n_states
         return states / self.state_capacity
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.automaton import Automaton
 from repro.core.elements import CounterElement, STE, StartMode
 from repro.engines.base import Engine, ReportEvent, RunResult
@@ -29,6 +30,7 @@ class VectorEngine(Engine):
 
     def __init__(self, automaton: Automaton) -> None:
         super().__init__(automaton)
+        compile_t0 = telemetry.clock()
         stes: list[STE] = list(automaton.stes())
         self._idents = [ste.ident for ste in stes]
         self._index = {ste.ident: i for i, ste in enumerate(stes)}
@@ -105,6 +107,7 @@ class VectorEngine(Engine):
         self._any_report = bool(self._report_mask.any()) or any(
             c.report for c in self._counters.values()
         )
+        telemetry.record_compile("vector", compile_t0, n)
 
     # -- helpers -----------------------------------------------------------
 
@@ -156,6 +159,7 @@ class VectorStream:
         self._enabled = engine._initial
 
     def feed(self, data: bytes) -> list[ReportEvent]:
+        scan_t0 = telemetry.clock()
         engine = self._engine
         reports: list[ReportEvent] = []
         active_counts = self.active_per_cycle
@@ -216,4 +220,6 @@ class VectorStream:
         self._enabled = enabled
         self.offset = base + len(data)
         reports.sort()
+        if scan_t0 is not None:
+            telemetry.record_scan("vector", scan_t0, len(data), len(reports))
         return reports

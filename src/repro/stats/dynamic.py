@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.core.automaton import Automaton
 from repro.engines.base import Engine
 from repro.engines.cache import auto_engine
@@ -61,7 +62,8 @@ def measure_dynamic(
         # way compiled once per structure via the engine cache, so Table I
         # sweeps do not recompile per metric.
         engine = auto_engine(automaton)
-    result = engine.run(data, record_active=True)
+    with telemetry.span("stats.measure_dynamic"):
+        result = engine.run(data, record_active=True)
     return DynamicStats(
         symbols=result.cycles,
         mean_active_set=result.mean_active_set,

@@ -1,0 +1,269 @@
+"""The telemetry registry: counters, timers, spans.
+
+Design constraints (see docs/OBSERVABILITY.md):
+
+* **Zero dependencies** — stdlib only, importable everywhere including
+  process-pool workers.
+* **Cheap when disabled** — every public mutator checks one module-level
+  boolean first and returns; the disabled path is one attribute load and
+  one branch, so instrumentation can live at engine feed/compile
+  granularity without distorting the measurements it exists to audit.
+* **Thread-safe** — one registry lock around every mutation, so engines
+  served to thread pools from the compile cache can record concurrently.
+  The telemetry lock is a leaf lock: no telemetry call ever takes another
+  lock, so holding an engine or cache lock around a telemetry call cannot
+  deadlock.
+* **Mergeable snapshots** — :func:`snapshot` is JSON-ready and stamped
+  with the producing ``pid``; :func:`merge` folds a worker snapshot (or a
+  :func:`diff_snapshots` delta) back into the live registry, which is how
+  counters survive ``parallel_scan`` process-pool workers.
+
+Metrics are flat dotted names (``engine.scan.bitset``,
+``cache.hit``, ``benchmark.build.Snort``).  Counters are monotonically
+increasing numbers; timers aggregate ``count/total/min/max`` seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "incr",
+    "observe",
+    "clock",
+    "span",
+    "record_compile",
+    "record_scan",
+    "snapshot",
+    "reset",
+    "merge",
+    "diff_snapshots",
+    "timer_total",
+    "counter_value",
+]
+
+_enabled = False
+_lock = threading.Lock()
+_counters: dict[str, float] = {}
+# name -> [count, total_s, min_s, max_s]
+_timers: dict[str, list[float]] = {}
+
+
+# -- switching ---------------------------------------------------------------
+
+
+def enable() -> None:
+    """Turn telemetry collection on (idempotent)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry collection off; recorded data is kept."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+# -- recording ---------------------------------------------------------------
+
+
+def incr(name: str, value: float = 1) -> None:
+    """Add ``value`` to counter ``name`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    with _lock:
+        _counters[name] = _counters.get(name, 0) + value
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record one duration under timer ``name`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    with _lock:
+        agg = _timers.get(name)
+        if agg is None:
+            _timers[name] = [1, seconds, seconds, seconds]
+        else:
+            agg[0] += 1
+            agg[1] += seconds
+            if seconds < agg[2]:
+                agg[2] = seconds
+            if seconds > agg[3]:
+                agg[3] = seconds
+
+
+def clock() -> float | None:
+    """A start timestamp when enabled, else ``None``.
+
+    The hot-path idiom: ``t0 = telemetry.clock()`` at entry, then one
+    ``record_scan(...)``/``observe(...)`` guarded by ``t0 is not None`` at
+    exit, so a disabled run pays two branches per feed and nothing per
+    symbol.
+    """
+    return time.perf_counter() if _enabled else None
+
+
+class _Span:
+    """Context manager timing one block under a timer name."""
+
+    __slots__ = ("name", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._t0: float | None = None
+
+    def __enter__(self) -> "_Span":
+        if _enabled:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._t0 is not None:
+            observe(self.name, time.perf_counter() - self._t0)
+        return False
+
+
+def span(name: str) -> _Span:
+    """``with telemetry.span("benchmark.build.Snort"): ...``"""
+    return _Span(name)
+
+
+def record_compile(label: str, t0: float | None, n_states: int) -> None:
+    """Engine-constructor epilogue: compile timer + size counters.
+
+    ``t0`` is the value of :func:`clock` taken at constructor entry;
+    ``None`` (telemetry was disabled then) makes this a no-op.
+    """
+    if t0 is None:
+        return
+    observe(f"engine.compile.{label}", time.perf_counter() - t0)
+    incr(f"engine.compiled.{label}")
+    incr(f"engine.compiled_states.{label}", n_states)
+
+
+def record_scan(label: str, t0: float | None, symbols: int, reports: int) -> None:
+    """Stream-feed epilogue: scan timer + symbol/report counters."""
+    if t0 is None:
+        return
+    observe(f"engine.scan.{label}", time.perf_counter() - t0)
+    incr(f"engine.symbols.{label}", symbols)
+    incr(f"engine.reports.{label}", reports)
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+def snapshot() -> dict:
+    """A JSON-ready copy of everything recorded so far."""
+    with _lock:
+        return {
+            "pid": os.getpid(),
+            "enabled": _enabled,
+            "counters": dict(_counters),
+            "timers": {
+                name: {
+                    "count": agg[0],
+                    "total_s": agg[1],
+                    "min_s": agg[2],
+                    "max_s": agg[3],
+                }
+                for name, agg in _timers.items()
+            },
+        }
+
+
+def reset() -> None:
+    """Drop all recorded counters and timers (enabled flag unchanged)."""
+    with _lock:
+        _counters.clear()
+        _timers.clear()
+
+
+def merge(snap: dict) -> None:
+    """Fold a snapshot (typically from a pool worker) into this registry.
+
+    Counters add; timers add count/total and widen min/max.  ``min_s`` /
+    ``max_s`` may be ``None`` in a :func:`diff_snapshots` delta, in which
+    case they do not narrow the local extrema.  Merging works even while
+    disabled — the data was legitimately collected elsewhere.
+    """
+    with _lock:
+        for name, value in snap.get("counters", {}).items():
+            _counters[name] = _counters.get(name, 0) + value
+        for name, entry in snap.get("timers", {}).items():
+            count = entry.get("count", 0)
+            if not count:
+                continue
+            total = entry.get("total_s", 0.0)
+            lo = entry.get("min_s")
+            hi = entry.get("max_s")
+            agg = _timers.get(name)
+            if agg is None:
+                mean = total / count
+                _timers[name] = [
+                    count,
+                    total,
+                    mean if lo is None else lo,
+                    mean if hi is None else hi,
+                ]
+            else:
+                agg[0] += count
+                agg[1] += total
+                if lo is not None and lo < agg[2]:
+                    agg[2] = lo
+                if hi is not None and hi > agg[3]:
+                    agg[3] = hi
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """The activity between two snapshots of the *same* registry.
+
+    Counter values and timer count/total subtract; timer min/max are not
+    recoverable from aggregates, so the delta carries ``None`` for both
+    (mergeable via :func:`merge`, which substitutes the delta mean).
+    Zero-delta entries are dropped.
+    """
+    counters = {}
+    base = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        delta = value - base.get(name, 0)
+        if delta:
+            counters[name] = delta
+    timers = {}
+    base_t = before.get("timers", {})
+    for name, entry in after.get("timers", {}).items():
+        prev = base_t.get(name, {})
+        count = entry["count"] - prev.get("count", 0)
+        if count:
+            timers[name] = {
+                "count": count,
+                "total_s": entry["total_s"] - prev.get("total_s", 0.0),
+                "min_s": None,
+                "max_s": None,
+            }
+    return {"pid": after.get("pid", os.getpid()), "counters": counters, "timers": timers}
+
+
+# -- convenience accessors (tests, the profile harness) ----------------------
+
+
+def counter_value(name: str, snap: dict | None = None) -> float:
+    """Current value of one counter (0 when never touched)."""
+    source = snap if snap is not None else snapshot()
+    return source.get("counters", {}).get(name, 0)
+
+
+def timer_total(name: str, snap: dict | None = None) -> float:
+    """Total seconds recorded under one timer (0.0 when never touched)."""
+    source = snap if snap is not None else snapshot()
+    entry = source.get("timers", {}).get(name)
+    return entry["total_s"] if entry else 0.0

@@ -108,6 +108,32 @@ class TestGrep:
         assert main(["grep", "zzz9", str(target)]) == 1
 
 
+class TestProfile:
+    def test_profile_smoke_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "PROFILE.json"
+        code = main(
+            ["profile", "--smoke", "--names", "Snort", "--out", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Snort" in text and "cache:" in text
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.profile/1"
+        assert payload["smoke"] is True
+        engines = payload["benchmarks"]["Snort"]["engines"]
+        assert set(engines) == {"bitset", "vector"}
+        for row in engines.values():
+            assert row["scan_s"] >= 0 and row["counters"]
+
+    def test_profile_engine_flag_and_no_out(self, capsys):
+        code = main(
+            ["profile", "--smoke", "--names", "Snort",
+             "--engine", "dfa", "--out", ""]
+        )
+        assert code == 0
+        assert "dfa" in capsys.readouterr().out
+
+
 class TestExportSuite:
     def test_export_and_reload(self, tmp_path, capsys):
         code = main(

@@ -131,6 +131,48 @@ class TestCompiledEngine:
         assert [r.offset for r in eng.run(b"xxabyab").reports] == [3, 6]
 
 
+class TestSharedEngineThreadSafety:
+    def test_lazydfa_hammer_from_many_threads(self):
+        """Regression: one cached LazyDFAEngine hammered by many threads.
+
+        The lazy DFA grows its memo (and promotes/demotes its dense tables)
+        while scanning; before the engine grew its own lock this corrupted
+        shared state under contention — threads saw half-published
+        promotion tables or transitions without their emits.  The pattern
+        forces a large subset space so memoisation, promotion, and scanning
+        genuinely interleave.
+        """
+        import random
+        import sys
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.engines import LazyDFAEngine
+
+        from repro.regex import compile_regex
+
+        automaton = compile_regex("a[ab]{10}b", report_code="r")
+        rng = random.Random(7)
+        data = bytes(rng.choice(b"ab") for _ in range(6_000))
+        expected = {
+            (r.offset, repr(r.code))
+            for r in LazyDFAEngine(automaton).run(data).reports
+        }
+        assert expected  # the input actually exercises the reporting path
+
+        engine = compiled_engine(automaton, LazyDFAEngine)
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = [pool.submit(engine.run, data) for _ in range(16)]
+                results = [f.result() for f in futures]
+        finally:
+            sys.setswitchinterval(old_interval)
+        for result in results:
+            got = {(r.offset, repr(r.code)) for r in result.reports}
+            assert got == expected
+
+
 class TestAutoEngine:
     def test_picks_bitset_when_small(self):
         assert type(auto_engine(literal())) is BitsetEngine

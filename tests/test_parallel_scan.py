@@ -37,12 +37,46 @@ class TestSplitting:
         assert segments == [type(segments[0])(0, 0, 50)]
 
     def test_more_segments_than_symbols(self):
+        """Regression: n_segments > data_length must not produce empty or
+        duplicated keep-partitions (the old code emitted [0,0) segments and
+        one catch-all [0, L) segment)."""
         segments = split_with_overlap(3, 8, 2)
-        assert segments[-1].end == 3
+        assert len(segments) == 3  # clamped to one symbol per segment
+        keeps = [(s.keep_from, s.end) for s in segments]
+        assert keeps == [(0, 1), (1, 2), (2, 3)]
+
+    @pytest.mark.parametrize(
+        "data_length,n_segments,overlap",
+        [
+            (0, 4, 3),
+            (1, 9, 0),
+            (3, 8, 2),
+            (7, 7, 20),
+            (10, 3, 15),  # overlap > base segment size
+            (100, 4, 5),
+            (101, 4, 200),
+        ],
+    )
+    def test_keep_partition_invariants(self, data_length, n_segments, overlap):
+        segments = split_with_overlap(data_length, n_segments, overlap)
+        # the keep-ranges tile [0, data_length) exactly, in order
+        assert segments[0].keep_from == 0
+        assert segments[-1].end == data_length
+        for prev, cur in zip(segments, segments[1:]):
+            assert cur.keep_from == prev.end
+        # scan ranges start at most `overlap` early, clamped at 0
+        for s in segments:
+            assert s.scan_start == max(0, s.keep_from - overlap)
+        # never more segments than symbols; every segment non-empty
+        if data_length > 0:
+            assert len(segments) == min(n_segments, data_length)
+            assert all(s.end > s.keep_from for s in segments)
 
     def test_validation(self):
         with pytest.raises(ValueError):
             split_with_overlap(10, 0, 1)
+        with pytest.raises(ValueError):
+            split_with_overlap(10, 2, -1)
 
 
 class TestParallelScan:
@@ -104,6 +138,20 @@ class TestParallelScan:
         pattern=st.sampled_from(["ab", "aba", "a{2,4}b", "[ab]{3}"]),
     )
     def test_segmented_equals_single_property(self, data, n_segments, pattern):
+        automaton = compile_regex(pattern, report_code="r")
+        single = VectorEngine(automaton).run(data)
+        segmented = parallel_scan(automaton, data, n_segments)
+        assert fingerprints(segmented) == fingerprints(single)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.binary(max_size=12).map(lambda raw: bytes(b"ab"[x % 2] for x in raw)),
+        n_segments=st.integers(1, 40),
+        pattern=st.sampled_from(["ab", "aba", "a{2,4}b", "[ab]{3}"]),
+    )
+    def test_segmented_equals_single_extremes(self, data, n_segments, pattern):
+        """Degenerate geometry: n_segments often exceeds data_length and the
+        pattern overlap exceeds the base segment size."""
         automaton = compile_regex(pattern, report_code="r")
         single = VectorEngine(automaton).run(data)
         segmented = parallel_scan(automaton, data, n_segments)

@@ -21,8 +21,33 @@ class TestCapacity:
         assert KINTEX_KU060.effective_capacity == KINTEX_KU060.state_capacity
 
     def test_utilization(self):
-        assert MICRON_D480.utilization(49_152) == pytest.approx(1.0)
-        assert MICRON_D480.utilization(24_576) == pytest.approx(0.5)
+        # utilization is measured against the *usable* (routing-limited)
+        # budget, so a full effective chip reads 100%.
+        effective = MICRON_D480.effective_capacity
+        assert MICRON_D480.utilization(effective) == pytest.approx(1.0)
+        assert MICRON_D480.utilization(effective // 2) == pytest.approx(0.5, abs=1e-4)
+        assert KINTEX_KU060.utilization(300_000) == pytest.approx(0.5)
+
+    def test_raw_utilization(self):
+        assert MICRON_D480.raw_utilization(49_152) == pytest.approx(1.0)
+        assert MICRON_D480.raw_utilization(24_576) == pytest.approx(0.5)
+
+    def test_utilization_consistent_with_fits_between_effective_and_raw(self):
+        """Regression: D480 automata between effective and raw capacity.
+
+        45,000 states exceed the routing-limited budget (41,779) but not the
+        raw silicon budget (49,152).  The old ``utilization`` divided by raw
+        capacity and reported ~92% on a machine ``fits()`` said was full.
+        """
+        states = 45_000
+        assert MICRON_D480.effective_capacity < states < MICRON_D480.state_capacity
+        assert not MICRON_D480.fits(states)
+        assert MICRON_D480.chips_required(states) == 2
+        assert MICRON_D480.utilization(states) > 1.0
+        assert MICRON_D480.raw_utilization(states) < 1.0
+        # fits <=> utilization <= 1.0, on both sides of the boundary
+        assert MICRON_D480.utilization(MICRON_D480.effective_capacity) <= 1.0
+        assert MICRON_D480.fits(MICRON_D480.effective_capacity)
 
 
 class TestThroughput:
