@@ -40,13 +40,35 @@ def _best_rate(engine, data) -> tuple[float, int]:
     return len(data) / best, reports
 
 
-def run_experiment(scale: float):
+def run_experiment(scale: float, max_seconds: float | None = None):
+    """The sweep; returns ``(results, truncated)``.
+
+    With a ``max_seconds`` budget, cells that would start past the
+    deadline are marked skipped (``"truncated by time budget"``) and
+    ``truncated`` is True — the artifact stays a complete, valid JSON
+    document covering whatever finished in time (docs/RESILIENCE.md).
+    """
+    deadline = (
+        time.perf_counter() + max_seconds if max_seconds is not None else None
+    )
+    truncated = False
     results: dict[str, dict[str, dict]] = {}
     for name in BENCH_SLICE:
+        rows: dict[str, dict] = {}
+        results[name] = rows
+        if deadline is not None and time.perf_counter() > deadline:
+            truncated = True
+            rows.update(
+                {e: {"skipped": "truncated by time budget"} for e in ENGINE_REGISTRY}
+            )
+            continue
         bench = build_benchmark(name, scale=scale, seed=0)
         data = bench.input_data[:INPUT_LIMIT]
-        rows: dict[str, dict] = {}
         for engine_name, engine_cls in ENGINE_REGISTRY.items():
+            if deadline is not None and time.perf_counter() > deadline:
+                truncated = True
+                rows[engine_name] = {"skipped": "truncated by time budget"}
+                continue
             try:
                 engine = engine_cls(bench.automaton)
             except (EngineError, CapacityError) as exc:
@@ -57,12 +79,14 @@ def run_experiment(scale: float):
                 "ksym_per_s": round(rate / 1e3, 1),
                 "reports": reports,
             }
-        reference = rows["reference"]["ksym_per_s"]
-        for row in rows.values():
-            if "ksym_per_s" in row:
-                row["speedup_vs_reference"] = round(row["ksym_per_s"] / reference, 2)
-        results[name] = rows
-    return results
+        reference = rows.get("reference", {}).get("ksym_per_s")
+        if reference:
+            for row in rows.values():
+                if "ksym_per_s" in row:
+                    row["speedup_vs_reference"] = round(
+                        row["ksym_per_s"] / reference, 2
+                    )
+    return results, truncated
 
 
 def render(results) -> str:
@@ -79,7 +103,7 @@ def render(results) -> str:
     return "\n".join(lines)
 
 
-def test_engine_throughput(benchmark, scale, results_dir):
+def test_engine_throughput(benchmark, scale, results_dir, max_seconds):
     # Telemetry rides along (feed-level instrumentation, so the per-symbol
     # hot loops are untouched); the snapshot lands in the JSON artifact so
     # a speedup regression comes with its compile/scan/memo breakdown.
@@ -87,8 +111,8 @@ def test_engine_throughput(benchmark, scale, results_dir):
     telemetry.enable()
     telemetry.reset()
     try:
-        results = benchmark.pedantic(
-            run_experiment, args=(scale,), rounds=1, iterations=1
+        results, truncated = benchmark.pedantic(
+            run_experiment, args=(scale, max_seconds), rounds=1, iterations=1
         )
         telemetry_snapshot = telemetry.snapshot()
     finally:
@@ -99,6 +123,7 @@ def test_engine_throughput(benchmark, scale, results_dir):
             {
                 "scale": scale,
                 "input_limit": INPUT_LIMIT,
+                "truncated": truncated,
                 "results": results,
                 "telemetry": telemetry_snapshot,
             },
@@ -109,7 +134,9 @@ def test_engine_throughput(benchmark, scale, results_dir):
     emit(results_dir, "engine_throughput", render(results))
     for name, rows in results.items():
         counts = {row["reports"] for row in rows.values() if "reports" in row}
-        assert len(counts) == 1, f"{name}: engines disagree on report count"
+        assert len(counts) <= 1, f"{name}: engines disagree on report count"
+    if truncated:
+        return  # partial artifact written; perf bound needs the full cells
     # the bit-parallel engine must beat the scalar reference comfortably on
     # the paper's flagship ruleset (measured >= 10x; conservative bound)
     assert results["Snort"]["bitset"]["speedup_vs_reference"] > 3

@@ -21,13 +21,39 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget for budget-aware experiments; cells that "
+        "miss the budget are marked skipped and the JSON artifact is "
+        "flagged truncated (still valid partial JSON)",
+    )
+
+
 def suite_scale(default: float = 0.01) -> float:
     return float(os.environ.get("REPRO_SCALE", default))
+
+
+def suite_max_seconds(config=None) -> float | None:
+    """The time budget: ``--max-seconds`` wins, else ``REPRO_MAX_SECONDS``."""
+    if config is not None:
+        option = config.getoption("--max-seconds")
+        if option is not None:
+            return option
+    env = os.environ.get("REPRO_MAX_SECONDS")
+    return float(env) if env else None
 
 
 @pytest.fixture(scope="session")
 def scale() -> float:
     return suite_scale()
+
+
+@pytest.fixture(scope="session")
+def max_seconds(request) -> float | None:
+    return suite_max_seconds(request.config)
 
 
 @pytest.fixture(scope="session")

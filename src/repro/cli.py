@@ -25,12 +25,56 @@ import sys
 
 from repro.benchmarks import BENCHMARK_NAMES, build_benchmark
 from repro.engines import ENGINE_REGISTRY, auto_engine, compiled_engine
+from repro.errors import (
+    CapacityError,
+    CheckpointMismatch,
+    EngineError,
+    EngineFailure,
+    InputError,
+    LintError,
+    MemoryBudgetExceeded,
+    ReproError,
+    ScanTimeout,
+    TransformPreconditionError,
+    WorkerCrash,
+)
 from repro.io import from_anml, from_mnrl, mnrl_dumps, to_anml
 from repro.regex import compile_regex
 from repro.stats import compute_static_stats, format_table, summarize_benchmark
 from repro.transforms import merge_common_prefixes
 
-__all__ = ["main"]
+__all__ = ["EXIT_CODES", "exit_code_for", "main"]
+
+#: Typed-failure exit codes (docs/RESILIENCE.md).  Most specific first:
+#: :func:`exit_code_for` walks this in order, so subclasses must precede
+#: their bases.  Any other :class:`~repro.errors.ReproError` exits 2.
+EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
+    (LintError, 3),
+    (TransformPreconditionError, 4),
+    (InputError, 5),
+    (ScanTimeout, 6),
+    (MemoryBudgetExceeded, 7),
+    (WorkerCrash, 8),
+    (EngineFailure, 9),
+    (CapacityError, 10),
+    (EngineError, 11),
+    (CheckpointMismatch, 12),
+)
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The CLI exit code for a typed failure (generic ReproError -> 2)."""
+    for exc_type, code in EXIT_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return 2
+
+
+def _default_checkpoint(out: str | None) -> str | None:
+    """Derive the journal path from ``--out``: PROFILE.json -> PROFILE.ckpt.json."""
+    if not out:
+        return None
+    return str(pathlib.Path(out).with_suffix(".ckpt.json"))
 
 
 def _load_automaton(path: pathlib.Path):
@@ -98,21 +142,58 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_table1(args) -> int:
-    rows = []
+    import dataclasses
+
+    from repro.resilience import faults
+    from repro.resilience.checkpoint import SweepCheckpoint
+    from repro.stats.dynamic import DynamicStats
+    from repro.stats.static import StaticStats
+    from repro.stats.table import BenchmarkRow
+
     names = args.names if args.names else BENCHMARK_NAMES
+    ckpt = None
+    if args.checkpoint:
+        meta = {
+            "names": list(names),
+            "scale": args.scale,
+            "seed": args.seed,
+            "limit": args.limit,
+        }
+        ckpt = SweepCheckpoint.open(args.checkpoint, meta, resume=args.resume)
+    rows = []
     for name in names:
-        bench = build_benchmark(name, scale=args.scale, seed=args.seed)
-        rows.append(
-            summarize_benchmark(
-                bench.name,
-                bench.domain,
-                bench.input_desc,
-                bench.automaton,
-                bench.input_data[: args.limit],
-                compress=bench.compressible,
+        cell_key = f"{name}::row"
+        if ckpt is not None and ckpt.has(cell_key):
+            cell = ckpt.get(cell_key)
+            rows.append(
+                BenchmarkRow(
+                    name=cell["name"],
+                    domain=cell["domain"],
+                    input_desc=cell["input_desc"],
+                    static=StaticStats(**cell["static"]),
+                    compressed_states=cell["compressed_states"],
+                    dynamic=(
+                        DynamicStats(**cell["dynamic"]) if cell["dynamic"] else None
+                    ),
+                )
             )
+            continue
+        bench = build_benchmark(name, scale=args.scale, seed=args.seed)
+        row = summarize_benchmark(
+            bench.name,
+            bench.domain,
+            bench.input_desc,
+            bench.automaton,
+            bench.input_data[: args.limit],
+            compress=bench.compressible,
         )
+        rows.append(row)
+        if ckpt is not None:
+            ckpt.record(cell_key, dataclasses.asdict(row))
+            faults.maybe_halt_after_cells(len(ckpt.cells))
     print(format_table(rows))
+    if ckpt is not None:
+        ckpt.done()
     return 0
 
 
@@ -164,6 +245,11 @@ def _cmd_conformance(args) -> int:
         return 0
 
     config = CaseConfig(max_states=args.max_states, max_input_len=args.max_input_len)
+    checkpoint = (
+        args.checkpoint
+        if args.checkpoint is not None
+        else _default_checkpoint(args.out)
+    )
     report = run_campaign(
         args.seeds,
         start_seed=args.start_seed,
@@ -174,6 +260,9 @@ def _cmd_conformance(args) -> int:
             if args.verbose
             else None
         ),
+        max_seconds=args.max_seconds,
+        checkpoint=checkpoint or None,
+        resume=args.resume,
     )
     for record in report.records:
         print(
@@ -197,10 +286,12 @@ def _cmd_conformance(args) -> int:
         out.write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {out}", file=sys.stderr)
     status = "clean" if summary["clean"] else "DIVERGED"
+    truncated = " (TRUNCATED by --max-seconds)" if report.truncated else ""
     print(
-        f"conformance: {report.seeds} seeds, {len(report.records)} divergences, "
+        f"conformance: {report.completed_seeds}/{report.seeds} seeds, "
+        f"{len(report.records)} divergences, "
         f"{len(golden_problems)} golden problems, "
-        f"{report.elapsed_s:.1f}s -> {status}"
+        f"{report.elapsed_s:.1f}s -> {status}{truncated}"
     )
     return 0 if summary["clean"] else 1
 
@@ -273,6 +364,16 @@ def _cmd_profile(args) -> int:
         names = args.names if args.names else DEFAULT_BENCHMARKS
         engines = args.engine if args.engine else list(DEFAULT_ENGINES)
         scale, limit = args.scale, args.limit
+    budget = None
+    if args.scan_seconds is not None or args.memo_budget is not None:
+        from repro.resilience.guards import ScanBudget
+
+        budget = ScanBudget(wall_s=args.scan_seconds, memo_bytes=args.memo_budget)
+    checkpoint = (
+        args.checkpoint
+        if args.checkpoint is not None
+        else _default_checkpoint(args.out)
+    )
     payload = run_profile(
         names=names,
         engines=engines,
@@ -280,7 +381,15 @@ def _cmd_profile(args) -> int:
         seed=args.seed,
         limit=limit or None,
         smoke=args.smoke,
+        budget=budget,
+        checkpoint=checkpoint or None,
+        resume=args.resume,
     )
+    if payload["resilience"]["resumed_cells"]:
+        print(
+            f"resumed {payload['resilience']['resumed_cells']} cells from checkpoint",
+            file=sys.stderr,
+        )
     for name, bench_row in payload["benchmarks"].items():
         print(
             f"{name}: {bench_row['states']:,} states, "
@@ -290,11 +399,16 @@ def _cmd_profile(args) -> int:
             if "skipped" in row:
                 print(f"  {engine_name:10s} skipped: {row['skipped']}")
             else:
+                degraded = (
+                    f"  [degraded -> {row['engine_used']}]"
+                    if "engine_used" in row and row["engine_used"] != engine_name
+                    else ""
+                )
                 print(
                     f"  {engine_name:10s} compile {row['compile_s']:.3f}s  "
                     f"scan {row['scan_s']:.3f}s  {row['ksym_per_s'] or 0:.1f} ksym/s  "
                     f"{row['reports']} reports  "
-                    f"mean active {row['mean_active_set']:.2f}"
+                    f"mean active {row['mean_active_set']:.2f}{degraded}"
                 )
     cache = payload["cache"]
     print(f"cache: {cache['hits']} hits, {cache['misses']} misses")
@@ -319,6 +433,12 @@ def _cmd_grep(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AutomataZoo benchmark suite tools"
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise typed failures with a full traceback "
+        "(default: one-line message + typed exit code)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -350,6 +470,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--limit", type=int, default=10_000)
     p.add_argument("--names", nargs="*", help="subset of benchmarks")
+    p.add_argument(
+        "--checkpoint", help="journal per-benchmark rows here (resumable sweep)"
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse rows already in --checkpoint; compute only missing ones",
+    )
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("verify", help="self-check generated benchmarks")
@@ -393,6 +521,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--goldens-path", help="override the golden registry file (testing)"
+    )
+    p.add_argument(
+        "--max-seconds",
+        type=float,
+        help="wall-clock budget; remaining seeds are skipped and the "
+        "summary is marked truncated (still valid JSON)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        help="per-seed journal path (default: derived from --out; '' disables)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip seeds already journaled in --checkpoint",
     )
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_conformance)
@@ -447,6 +590,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="bench_results/PROFILE.json",
         help="profile JSON path ('' to skip)",
     )
+    p.add_argument(
+        "--scan-seconds",
+        type=float,
+        help="per-cell wall-clock budget; a cell that trips it degrades "
+        "down the engine fallback ladder instead of failing the sweep",
+    )
+    p.add_argument(
+        "--memo-budget",
+        type=int,
+        help="lazy-DFA memo byte budget per cell (same ladder degradation)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        help="per-cell journal path (default: derived from --out; '' disables)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already journaled in --checkpoint",
+    )
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("grep", help="scan a file with a compiled regex")
@@ -460,7 +623,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        if args.debug:
+            raise
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

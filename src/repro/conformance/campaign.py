@@ -45,6 +45,10 @@ class CampaignReport:
     start_seed: int
     elapsed_s: float
     records: list[DivergenceRecord] = field(default_factory=list)
+    #: Seeds actually finished (== ``seeds`` unless truncated/killed).
+    completed_seeds: int = 0
+    #: True when a ``max_seconds`` budget ended the campaign early.
+    truncated: bool = False
 
     @property
     def clean(self) -> bool:
@@ -71,18 +75,63 @@ def run_campaign(
     shrink: bool = True,
     repro_dir=None,
     progress: Callable[[int, int], None] | None = None,
+    max_seconds: float | None = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> CampaignReport:
     """Run ``n_seeds`` differential cases; shrink and record divergences.
 
     ``engine_factories`` is forwarded to :func:`~repro.conformance.runner.run_case`
     (fault-injection tests use it); ``repro_dir`` enables on-disk repro
     serialization, one subdirectory per divergent seed.
+
+    ``max_seconds`` bounds the campaign's wall clock: when the budget
+    runs out, remaining seeds are skipped and the report is marked
+    ``truncated`` — the summary is still a complete, valid document.
+    ``checkpoint``/``resume`` journal per-seed results so a killed
+    campaign re-runs only the seeds it never finished
+    (docs/RESILIENCE.md).
     """
+    from repro.resilience import faults
+    from repro.resilience.checkpoint import SweepCheckpoint
+
     started = time.perf_counter()
+    meta = {
+        "n_seeds": n_seeds,
+        "start_seed": start_seed,
+        "bit_level_every": _BIT_LEVEL_EVERY,
+        "shrink": shrink,
+    }
+    ckpt = (
+        SweepCheckpoint.open(checkpoint, meta, resume=resume) if checkpoint else None
+    )
     report = CampaignReport(seeds=n_seeds, start_seed=start_seed, elapsed_s=0.0)
     for index in range(n_seeds):
         seed = start_seed + index
+        if max_seconds is not None and time.perf_counter() - started > max_seconds:
+            report.truncated = True
+            telemetry.incr("conformance.truncated")
+            break
         bit_level = index % _BIT_LEVEL_EVERY == _BIT_LEVEL_EVERY - 1
+        cell_key = f"seed::{seed}"
+        if ckpt is not None and ckpt.has(cell_key):
+            cell = ckpt.get(cell_key)
+            report.completed_seeds += 1
+            for row in cell["records"]:
+                report.records.append(
+                    DivergenceRecord(
+                        seed=row["seed"],
+                        divergence=Divergence(
+                            subject=row["subject"],
+                            field=row["field"],
+                            detail=row["detail"],
+                        ),
+                        shrunk_states=row["shrunk_states"],
+                        shrunk_input_len=row["shrunk_input_len"],
+                        repro_path=row["repro_path"],
+                    )
+                )
+            continue
         with telemetry.span("conformance.generate"):
             case = random_case(seed, config=config, bit_level=bit_level)
         run_kwargs = dict(
@@ -94,6 +143,7 @@ def run_campaign(
         telemetry.incr("conformance.divergences", len(divergences))
         if progress is not None:
             progress(index + 1, len(divergences))
+        seed_records: list[DivergenceRecord] = []
         for divergence in divergences:
             record = DivergenceRecord(seed=seed, divergence=divergence)
             if shrink:
@@ -125,8 +175,31 @@ def run_campaign(
                         },
                     )
                     record.repro_path = str(path)
+            seed_records.append(record)
             report.records.append(record)
+        report.completed_seeds += 1
+        if ckpt is not None:
+            ckpt.record(
+                cell_key,
+                {
+                    "records": [
+                        {
+                            "seed": r.seed,
+                            "subject": r.divergence.subject,
+                            "field": r.divergence.field,
+                            "detail": r.divergence.detail,
+                            "shrunk_states": r.shrunk_states,
+                            "shrunk_input_len": r.shrunk_input_len,
+                            "repro_path": r.repro_path,
+                        }
+                        for r in seed_records
+                    ]
+                },
+            )
+            faults.maybe_halt_after_cells(len(ckpt.cells))
     report.elapsed_s = time.perf_counter() - started
+    if ckpt is not None and not report.truncated:
+        ckpt.done()
     return report
 
 
@@ -135,6 +208,8 @@ def summary_dict(report: CampaignReport, *, goldens_problems=None) -> dict:
     return {
         "seeds": report.seeds,
         "start_seed": report.start_seed,
+        "completed_seeds": report.completed_seeds,
+        "truncated": report.truncated,
         "elapsed_s": round(report.elapsed_s, 3),
         "clean": report.clean and not goldens_problems,
         "divergences": [

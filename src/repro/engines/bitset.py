@@ -55,6 +55,7 @@ from repro.core.elements import CounterElement, STE, StartMode
 from repro.engines.base import Engine, ReportEvent, RunResult
 from repro.engines.reference import _CounterState
 from repro.errors import CapacityError
+from repro.resilience.guards import current_guard
 
 __all__ = ["BitsetEngine", "BitsetStream"]
 
@@ -256,7 +257,12 @@ class BitsetStream:
         pos = 0
         length = len(data)
         total_pop = 0
+        guard = current_guard()
+        if guard is not None:
+            guard.check_deadline("bitset", base)
         while pos < length:
+            if guard is not None:
+                guard.check_deadline("bitset", base + pos)
             end = min(pos + _BLOCK_SYMBOLS, length)
             step = self._run_block if use_block else self._run_sparse
             rest, matched_pop = step(data, pos, end, rest, base, reports)

@@ -21,6 +21,15 @@ its memo table across runs; that growth happens under the engine's own
 lock (see the thread-safety contract in :mod:`repro.engines.lazydfa`), so
 one lazy DFA served from this cache can be hammered from many threads.
 
+**Degraded engines are never cached under the original key.**  The
+resilience fallback ladder (:mod:`repro.resilience.ladder`) looks each
+rung up under that rung's *own* class, so a scan degraded from the lazy
+DFA to, say, the bitset engine leaves the ``LazyDFAEngine`` entry
+untouched for concurrent callers.  As a backstop, a cache hit is
+revalidated against the requested class: an entry of the wrong type is
+evicted and recompiled (``cache.type_mismatch_evicted``) rather than
+returned.
+
 The fingerprint is a structural SHA-256 over elements, charsets, start and
 report flags, edges and reset wires.  It is cached on the automaton object
 and revalidated against ``(n_states, n_edges)``; in-place mutations that
@@ -134,6 +143,15 @@ def compiled_engine(
     )
     with _lock:
         engine = _cache.get(key)
+        if engine is not None and type(engine) is not engine_cls:
+            # Degraded-engine rule: a hit must be exactly the class the
+            # caller asked for.  A fallback ladder that rewrote an entry
+            # with a lower-rung engine (or any other type confusion) would
+            # otherwise hand every future caller of the *original* engine
+            # the degraded one, silently and forever.  Evict and recompile.
+            del _cache[key]
+            engine = None
+            telemetry.incr("cache.type_mismatch_evicted")
         if engine is not None:
             _cache.move_to_end(key)
             _hits += 1

@@ -34,6 +34,18 @@ from repro.core.automaton import Automaton
 from repro.core.elements import STE, StartMode
 from repro.engines.base import Engine, ReportEvent, RunResult
 from repro.errors import CapacityError, EngineError
+from repro.resilience import faults
+from repro.resilience.guards import current_guard
+
+#: Estimated heap bytes per interned DFA state: the 256-entry int64
+#: transition row (2048) plus dict/list bookkeeping, before the per-member
+#: subset cost.  An estimate is all the budget needs — the guard exists to
+#: stop runaway subset construction, not to audit the allocator.
+_STATE_BASE_BYTES = 2048 + 64
+_STATE_MEMBER_BYTES = 8
+#: Estimated heap bytes per state added by the dense promoted tables
+#: (numpy row + list-of-lists row + emit bitmask).
+_PROMOTED_STATE_BYTES = 256 * 8 + 64
 
 __all__ = ["LazyDFAEngine", "LazyDFAStream"]
 
@@ -88,6 +100,10 @@ class LazyDFAEngine(Engine):
         #: Memo misses so far (on-demand _compute calls); the stream loop
         #: uses it to detect a miss-free block and trigger promotion.
         self._compute_count = 0
+        #: Estimated heap bytes held by the raw memo / the promoted tables;
+        #: consulted against the active ScanGuard's ``memo_bytes`` budget.
+        self._memo_bytes = 0
+        self._promoted_bytes = 0
         with self._lock:
             self._initial_id = self._intern(initial)
         telemetry.record_compile("lazydfa", compile_t0, len(stes))
@@ -109,6 +125,26 @@ class LazyDFAEngine(Engine):
             self._trans.append(np.full(256, -1, dtype=np.int64))
             self._emits.append({})
             telemetry.incr("lazydfa.dfa_states")
+            self._memo_bytes += int(
+                (_STATE_BASE_BYTES + _STATE_MEMBER_BYTES * len(state_set))
+                * faults.memo_inflation()
+            )
+            guard = current_guard()
+            if guard is not None and not guard.memo_headroom(
+                self._memo_bytes + self._promoted_bytes
+            ):
+                # First line of defence: demote — drop the dense promoted
+                # tables and reclaim their estimate.  Only when the raw
+                # memo alone is over budget does the guard raise
+                # MemoryBudgetExceeded (hard degradation; the fallback
+                # ladder reruns on the next engine down).
+                if self._trans_rows is not None:
+                    self._trans_table = None
+                    self._trans_rows = None
+                    self._emit_bits = None
+                    self._promoted_bytes = 0
+                    telemetry.incr("resilience.memo.demoted")
+                guard.check_memo("lazydfa", self._memo_bytes)
         return sid
 
     def _compute(self, sid: int, symbol: int) -> int:
@@ -136,6 +172,7 @@ class LazyDFAEngine(Engine):
             self._trans_table = None
             self._trans_rows = None
             self._emit_bits = None
+            self._promoted_bytes = 0
             # Publish last: lock-free readers treat a non-negative
             # transition as "emits for this (sid, symbol) are in place".
             self._trans[sid][symbol] = nid
@@ -157,6 +194,16 @@ class LazyDFAEngine(Engine):
                 return True
             if len(self._trans) > self._PROMOTE_MAX_STATES:
                 return False
+            guard = current_guard()
+            dense_bytes = len(self._trans) * _PROMOTED_STATE_BYTES
+            if guard is not None and not guard.memo_headroom(
+                self._memo_bytes + dense_bytes
+            ):
+                # Declining is the demoted steady state: the raw memo fits
+                # the budget but the dense tables would not.
+                telemetry.incr("resilience.memo.promotion_declined")
+                return False
+            self._promoted_bytes = dense_bytes
             self._trans_table = np.vstack(self._trans)
             trans_rows = self._trans_table.tolist()
             emit_bits = []
@@ -224,7 +271,12 @@ class LazyDFAStream:
         length = len(data)
         pos = 0
         promoted_this_feed = False
+        guard = current_guard()
+        if guard is not None:
+            guard.check_deadline("lazydfa", base)
         while pos < length:
+            if guard is not None:
+                guard.check_deadline("lazydfa", base + pos)
             end = min(pos + _PROMOTE_BLOCK, length)
             if engine._trans_rows is not None:
                 sid, pos = self._run_promoted(data, pos, end, sid, base, reports)

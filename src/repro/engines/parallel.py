@@ -18,16 +18,11 @@ are rejected.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
-from repro import telemetry
 from repro.core.automaton import Automaton
-from repro.engines.base import Engine, ReportEvent, RunResult
-from repro.engines.cache import compiled_engine
-from repro.engines.prefilter import max_match_length
+from repro.engines.base import Engine, RunResult
 from repro.engines.vector import VectorEngine
-from repro.errors import EngineError
 
 __all__ = ["Segment", "split_with_overlap", "parallel_scan", "parallel_speedup_model"]
 
@@ -68,34 +63,6 @@ def split_with_overlap(
     return segments
 
 
-def _scan_segment(args):
-    automaton, data, segment, engine_cls, collect = args
-    # ``collect`` carries the parent's telemetry switch across the process
-    # boundary; pool workers start with the import default (disabled).
-    # Thread-pool workers share the parent registry, so only toggle when
-    # the flag is actually off here.
-    was_enabled = telemetry.is_enabled()
-    if collect and not was_enabled:
-        telemetry.enable()
-    before = telemetry.snapshot() if collect else None
-    # The compile cache keys on the automaton's structural fingerprint, so
-    # every segment of every call — including segments handled by the same
-    # process-pool worker across tasks, where the pickled automaton is a
-    # fresh object each time — reuses one compiled engine per worker.
-    engine = compiled_engine(automaton, engine_cls)
-    with telemetry.span("parallel.segment"):
-        result = engine.run(data[segment.scan_start : segment.end])
-    events = [
-        ReportEvent(event.offset + segment.scan_start, event.ident, event.code)
-        for event in result.reports
-        if event.offset + segment.scan_start >= segment.keep_from
-    ]
-    delta = telemetry.diff_snapshots(before, telemetry.snapshot()) if collect else None
-    if collect and not was_enabled:
-        telemetry.disable()
-    return events, delta
-
-
 def parallel_scan(
     automaton: Automaton,
     data: bytes,
@@ -114,36 +81,34 @@ def parallel_scan(
     engines default to :class:`VectorEngine` and are compiled once per
     worker through the engine cache; pass ``engine_cls`` (e.g.
     :class:`~repro.engines.bitset.BitsetEngine`) to pick the engine.
-    """
-    from repro.core.elements import StartMode
 
-    if any(s.start is StartMode.START_OF_DATA for s in automaton.stes()):
-        raise EngineError("parallel_scan requires an unanchored automaton")
-    window = max_match_length(automaton)
-    if window is None:
-        raise EngineError(
-            "automaton has unbounded match length; segment overlap cannot "
-            "bound cross-boundary matches"
+    This is the *strict mode* of
+    :func:`repro.resilience.supervisor.supervised_parallel_scan`: one
+    attempt per segment, no timeouts, no fallback — the first segment
+    failure re-raises in the caller.  Use the supervised form directly
+    for timeouts, crash recovery, retries, and poison-segment isolation.
+    """
+    # Imported lazily: the supervisor imports the engine registry, which
+    # imports this module.
+    from repro.errors import EngineFailure
+    from repro.resilience.supervisor import SupervisorConfig, supervised_parallel_scan
+
+    outcome = supervised_parallel_scan(
+        automaton,
+        data,
+        n_segments,
+        pool=pool,
+        engine=engine_cls if engine_cls is not None else VectorEngine,
+        config=SupervisorConfig(max_attempts=1),
+    )
+    if not outcome.complete:
+        bad = outcome.poisoned[0]
+        if bad.exception is not None:
+            raise bad.exception
+        raise EngineFailure(
+            "parallel", bad.error or "segment scan failed", segment=bad.index
         )
-    segments = split_with_overlap(len(data), n_segments, max(window - 1, 0))
-    cls = engine_cls if engine_cls is not None else VectorEngine
-    collect = telemetry.is_enabled()
-    telemetry.incr("parallel.scans")
-    telemetry.incr("parallel.segments", len(segments))
-    tasks = [(automaton, data, segment, cls, collect) for segment in segments]
-    if pool is None:
-        parts = [_scan_segment(task) for task in tasks]
-    else:
-        parts = list(pool.map(_scan_segment, tasks))
-    # Counter/timer deltas recorded inside *other processes* (a process
-    # pool) are merged back here; same-pid deltas (serial path or thread
-    # pools) already live in this registry.
-    pid = os.getpid()
-    for _, delta in parts:
-        if delta is not None and delta.get("pid") != pid:
-            telemetry.merge(delta)
-    reports = sorted(event for part, _ in parts for event in part)
-    return RunResult(reports=reports, cycles=len(data))
+    return outcome.result
 
 
 def parallel_speedup_model(

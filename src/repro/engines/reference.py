@@ -14,6 +14,7 @@ from repro import telemetry
 from repro.core.automaton import Automaton
 from repro.core.elements import CounterElement, CounterMode, STE, StartMode
 from repro.engines.base import Engine, ReportEvent, RunResult
+from repro.resilience.guards import GUARD_BLOCK, current_guard
 
 __all__ = ["ReferenceEngine", "ReferenceStream"]
 
@@ -131,8 +132,15 @@ class ReferenceStream:
         counter_state = self._counter_state
         enabled = self._enabled
         base = self.offset
+        guard = current_guard()
+        if guard is not None:
+            # Entry check so a scan that arrives past its deadline (e.g.
+            # after an injected stall) trips before consuming anything.
+            guard.check_deadline("reference", base)
         for index, symbol in enumerate(data):
             offset = base + index
+            if guard is not None and index % GUARD_BLOCK == 0:
+                guard.check_deadline("reference", offset)
             if active_counts is not None:
                 active_counts.append(len(enabled))
             if self.ever_enabled is not None:

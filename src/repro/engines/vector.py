@@ -19,6 +19,7 @@ from repro.core.automaton import Automaton
 from repro.core.elements import CounterElement, STE, StartMode
 from repro.engines.base import Engine, ReportEvent, RunResult
 from repro.engines.reference import _CounterState
+from repro.resilience.guards import GUARD_BLOCK, current_guard
 
 __all__ = ["VectorEngine", "VectorStream"]
 
@@ -167,9 +168,14 @@ class VectorStream:
         buffer = np.frombuffer(data, dtype=np.uint8) if data else np.empty(0, np.uint8)
         base = self.offset
 
+        guard = current_guard()
+        if guard is not None:
+            guard.check_deadline("vector", base)
         enabled = self._enabled
         for index in range(len(buffer)):
             offset = base + index
+            if guard is not None and index % GUARD_BLOCK == 0:
+                guard.check_deadline("vector", offset)
             if active_counts is not None:
                 active_counts.append(int(enabled.size))
             matched = engine._matches(int(buffer[index]), enabled)

@@ -67,3 +67,147 @@ class EngineError(ReproError):
 
 class CapacityError(ReproError):
     """An automaton does not fit the resources of a spatial architecture."""
+
+
+class InputError(ReproError):
+    """An input file is truncated or malformed.
+
+    Carries the file ``path`` and the byte ``offset`` of the first
+    structural problem, so loader failures point at bytes instead of
+    surfacing a bare ``struct.error``/``IndexError``.
+    """
+
+    def __init__(self, path, offset: int, message: str) -> None:
+        self.path = str(path)
+        self.offset = offset
+        self.detail = message
+        super().__init__(f"{self.path}: offset {offset}: {message}")
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.offset, self.detail))
+
+
+class ResilienceError(ReproError):
+    """Base for resource-guard and supervised-execution failures.
+
+    Everything the :mod:`repro.resilience` layer raises or isolates is a
+    subclass, so the fallback ladder and the supervised pool can catch
+    one type to mean "this attempt failed in a controlled, reported way".
+    """
+
+
+class ScanTimeout(ResilienceError):
+    """A scan overran its wall-clock deadline.
+
+    Raised by a :class:`~repro.resilience.guards.ScanGuard` at block
+    granularity inside an engine's feed loop; carries which engine was
+    running, how far it got, and the budget it blew.
+    """
+
+    def __init__(
+        self, engine: str, offset: int, budget_s: float, segment: int | None = None
+    ) -> None:
+        self.engine = engine
+        self.offset = offset
+        self.budget_s = budget_s
+        self.segment = segment
+        where = f" (segment {segment})" if segment is not None else ""
+        super().__init__(
+            f"{engine} scan{where} exceeded {budget_s:.3f}s wall-clock "
+            f"budget at offset {offset}"
+        )
+
+    def __reduce__(self):
+        # Guard trips happen inside pool workers; default exception
+        # pickling re-calls __init__ with .args (the message) only.
+        return (type(self), (self.engine, self.offset, self.budget_s, self.segment))
+
+
+class MemoryBudgetExceeded(ResilienceError):
+    """A memoisation structure outgrew its byte budget.
+
+    Raised by the lazy-DFA memo guard after demotion (dropping the dense
+    promoted tables) was not enough; the fallback ladder turns it into a
+    rerun on the next engine down.
+    """
+
+    def __init__(
+        self, engine: str, used_bytes: int, budget_bytes: int, offset: int | None = None
+    ) -> None:
+        self.engine = engine
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes
+        self.offset = offset
+        super().__init__(
+            f"{engine} memo grew to ~{used_bytes:,} bytes, over the "
+            f"{budget_bytes:,}-byte budget"
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.engine, self.used_bytes, self.budget_bytes, self.offset),
+        )
+
+
+class WorkerCrash(ResilienceError):
+    """A parallel-scan worker died (dead process or broken pool)."""
+
+    def __init__(self, segment: int, attempt: int, detail: str = "worker died") -> None:
+        self.segment = segment
+        self.attempt = attempt
+        self.detail = detail
+        super().__init__(f"segment {segment} attempt {attempt}: {detail}")
+
+    def __reduce__(self):
+        return (type(self), (self.segment, self.attempt, self.detail))
+
+
+class EngineFailure(ResilienceError):
+    """One engine attempt failed; carries engine/segment/offset context.
+
+    Also the terminal error of a fallback ladder whose every rung failed
+    (``engine`` is then ``"ladder"`` and ``detail`` lists the per-rung
+    failures).
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        detail: str,
+        *,
+        segment: int | None = None,
+        offset: int | None = None,
+    ) -> None:
+        self.engine = engine
+        self.detail = detail
+        self.segment = segment
+        self.offset = offset
+        where = f" (segment {segment})" if segment is not None else ""
+        super().__init__(f"{engine}{where}: {detail}")
+
+    def __reduce__(self):
+        return (
+            _rebuild_engine_failure,
+            (type(self), self.engine, self.detail, self.segment, self.offset),
+        )
+
+
+def _rebuild_engine_failure(cls, engine, detail, segment, offset):
+    return cls(engine, detail, segment=segment, offset=offset)
+
+
+class CheckpointMismatch(ResilienceError):
+    """A sweep checkpoint was recorded under different parameters.
+
+    Resuming with a mismatched (names, engines, scale, seed, ...) tuple
+    would silently mix incompatible cells; refuse instead.
+    """
+
+    def __init__(self, path, detail: str) -> None:
+        self.path = str(path)
+        self.detail = detail
+        super().__init__(f"{self.path}: {detail}")
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.detail))

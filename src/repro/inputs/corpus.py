@@ -8,11 +8,19 @@ tag context.
 
 Symbol layout: tags occupy :data:`TAG_BASE`.., word classes occupy
 :data:`WORD_BASE`.. — disjoint ranges so patterns can use range charsets.
+
+:func:`load_tagged_corpus` validates a corpus file against that layout and
+raises :class:`~repro.errors.InputError` with the file path and byte
+offset of the first malformed symbol (docs/RESILIENCE.md) rather than
+letting a bad stream feed the engines silently.
 """
 
 from __future__ import annotations
 
+import pathlib
 import random
+
+from repro.errors import InputError
 
 __all__ = [
     "POS_TAGS",
@@ -24,6 +32,7 @@ __all__ = [
     "any_tag_range",
     "any_word_range",
     "generate_tagged_corpus",
+    "load_tagged_corpus",
 ]
 
 #: A Brown-corpus-flavoured tag set.
@@ -89,3 +98,34 @@ def generate_tagged_corpus(
         else:
             tag = rng.randrange(n_tags)
     return bytes(out)
+
+
+def load_tagged_corpus(path) -> bytes:
+    """Read and validate a (word, tag) symbol stream from disk.
+
+    The stream must be an even number of bytes (tokens are pairs), word
+    symbols must lie in ``[WORD_BASE, WORD_BASE + N_WORD_CLASSES)`` and
+    tag symbols in ``[TAG_BASE, TAG_BASE + len(POS_TAGS))``.  The first
+    violation raises :class:`~repro.errors.InputError` at its byte offset.
+    """
+    data = pathlib.Path(path).read_bytes()
+    if len(data) % 2:
+        raise InputError(
+            path, len(data) - 1,
+            f"odd stream length {len(data)}: tokens are (word, tag) byte pairs",
+        )
+    word_end = WORD_BASE + N_WORD_CLASSES
+    tag_end = TAG_BASE + len(POS_TAGS)
+    for offset in range(0, len(data), 2):
+        word, tag = data[offset], data[offset + 1]
+        if not WORD_BASE <= word < word_end:
+            raise InputError(
+                path, offset,
+                f"word symbol {word} outside [{WORD_BASE}, {word_end})",
+            )
+        if not TAG_BASE <= tag < tag_end:
+            raise InputError(
+                path, offset + 1,
+                f"tag symbol {tag} outside [{TAG_BASE}, {tag_end})",
+            )
+    return data

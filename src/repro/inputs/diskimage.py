@@ -6,13 +6,22 @@ of multimedia files with recoverable headers.  This module synthesises
 both: realistic-looking file bodies (text, PNG-like, JPEG-like, ZIP, MPEG)
 concatenated into one image, with a ground-truth listing of what lies
 where.
+
+:func:`carve`/:func:`load_disk_image` walk an image's file structures
+(the File Carving benchmark's ground-truth recovery).  Malformed
+structures raise :class:`~repro.errors.InputError` with the path and byte
+offset of the problem — never a bare ``struct.error``/``IndexError``
+(docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
 
+import pathlib
 import random
 import struct
 from dataclasses import dataclass
+
+from repro.errors import InputError
 
 __all__ = [
     "FileEntry",
@@ -24,6 +33,8 @@ __all__ = [
     "make_mpeg2_stream",
     "make_mp4_file",
     "build_disk_image",
+    "carve",
+    "load_disk_image",
 ]
 
 _WORDS = (
@@ -158,3 +169,121 @@ def build_disk_image(
         entries.append(FileEntry(label, len(out), len(payload)))
         out += payload
     return DiskImage(data=bytes(out), entries=tuple(entries))
+
+
+_ZIP_LOCAL = struct.Struct("<IHHHHHIIIHH")
+_ZIP_EOCD = struct.Struct("<IHHHHIIH")
+
+
+def _carve_zip(data: bytes, start: int, path) -> int:
+    """Walk ZIP local headers from ``start``; return the end offset."""
+    offset = start
+    while offset + 4 <= len(data):
+        signature = struct.unpack_from("<I", data, offset)[0]
+        if signature == 0x06054B50:  # end of central directory
+            if offset + _ZIP_EOCD.size > len(data):
+                raise InputError(
+                    path, offset,
+                    "truncated ZIP end-of-central-directory record",
+                )
+            (*_, comment_len) = _ZIP_EOCD.unpack_from(data, offset)
+            return offset + _ZIP_EOCD.size + comment_len
+        if signature != 0x04034B50:  # local file header
+            raise InputError(
+                path, offset,
+                f"expected ZIP local header or EOCD, found 0x{signature:08X}",
+            )
+        if offset + _ZIP_LOCAL.size > len(data):
+            raise InputError(path, offset, "truncated ZIP local file header")
+        fields = _ZIP_LOCAL.unpack_from(data, offset)
+        compressed_len, name_len, extra_len = fields[7], fields[9], fields[10]
+        end = offset + _ZIP_LOCAL.size + name_len + extra_len + compressed_len
+        if end > len(data):
+            raise InputError(
+                path, offset,
+                f"ZIP entry declares {end - offset} bytes but only "
+                f"{len(data) - offset} remain",
+            )
+        offset = end
+    raise InputError(path, offset, "ZIP data ends before end-of-central-directory")
+
+
+def _find_trailer(data: bytes, start: int, trailer: bytes, kind: str, path) -> int:
+    end = data.find(trailer, start)
+    if end < 0:
+        raise InputError(path, start, f"{kind} data has no {trailer!r} trailer")
+    return end + len(trailer)
+
+
+def carve(data: bytes, *, path="<memory>") -> tuple[FileEntry, ...]:
+    """Recover the file map of a disk image by walking its structures.
+
+    Scans for the magic of each supported kind and follows that kind's
+    framing to the end of the file (ZIP headers, PNG/JPEG trailers, MP4
+    box lengths, MPEG-2 end code).  A magic whose framing runs off the
+    end of the image — a truncated or corrupt member — raises
+    :class:`~repro.errors.InputError` at the offending offset; the parse
+    itself never surfaces ``struct.error``/``IndexError``.
+    """
+    entries: list[FileEntry] = []
+    offset = 0
+    try:
+        while offset < len(data):
+            if data.startswith(b"\x89PNG\r\n\x1a\n", offset):
+                end = _find_trailer(
+                    data, offset, b"IEND\xaeB`\x82", "PNG", path
+                )
+                entries.append(FileEntry("png", offset, end - offset))
+                offset = end
+            elif data.startswith(b"\xff\xd8\xff", offset):
+                end = _find_trailer(data, offset + 3, b"\xff\xd9", "JPEG", path)
+                entries.append(FileEntry("jpeg", offset, end - offset))
+                offset = end
+            elif data.startswith(b"PK\x03\x04", offset):
+                end = _carve_zip(data, offset, path)
+                entries.append(FileEntry("zip", offset, end - offset))
+                offset = end
+            elif data.startswith(b"ftyp", offset + 4) and offset + 8 <= len(data):
+                box_len = struct.unpack_from(">I", data, offset)[0]
+                if box_len < 8:
+                    raise InputError(
+                        path, offset, f"MP4 box length {box_len} below header size"
+                    )
+                end = offset + box_len
+                while end + 8 <= len(data) and data[end + 4:end + 8] == b"mdat":
+                    mdat_len = struct.unpack_from(">I", data, end)[0]
+                    if mdat_len < 8:
+                        raise InputError(
+                            path, end,
+                            f"MP4 box length {mdat_len} below header size",
+                        )
+                    end += mdat_len
+                if end > len(data):
+                    raise InputError(
+                        path, offset,
+                        f"MP4 boxes declare {end - offset} bytes but only "
+                        f"{len(data) - offset} remain",
+                    )
+                entries.append(FileEntry("mp4", offset, end - offset))
+                offset = end
+            elif data.startswith(b"\x00\x00\x01\xba", offset):
+                end = _find_trailer(
+                    data, offset, b"\x00\x00\x01\xb9", "MPEG-2", path
+                )
+                entries.append(FileEntry("mpeg2", offset, end - offset))
+                offset = end
+            else:
+                offset += 1  # slack byte
+    except (struct.error, IndexError) as exc:  # pragma: no cover - belt and braces
+        raise InputError(path, offset, f"malformed structure: {exc}") from exc
+    return tuple(entries)
+
+
+def load_disk_image(path) -> DiskImage:
+    """Read a disk image from disk and carve its file map.
+
+    Structural problems raise :class:`~repro.errors.InputError` carrying
+    ``path`` and the byte offset (see :func:`carve`).
+    """
+    data = pathlib.Path(path).read_bytes()
+    return DiskImage(data=data, entries=carve(data, path=path))

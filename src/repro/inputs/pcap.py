@@ -5,13 +5,29 @@ queries, and occasional binary payloads — approximating the payload bytes a
 PCAP of web traffic feeds a NIDS.  A small fraction of packets embed
 "suspicious" tokens so the specific (non-modifier) Snort rules fire
 occasionally, as in real traffic.
+
+:func:`save_pcap`/:func:`load_pcap` round-trip packets through the real
+libpcap container format, so external captures can feed the benchmark.
+The loader never leaks a bare ``struct.error``/``IndexError``: every
+structural problem raises :class:`~repro.errors.InputError` with the file
+path and byte offset (docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
 
+import pathlib
 import random
+import struct
 
-__all__ = ["synthetic_pcap", "SUSPICIOUS_TOKENS"]
+from repro.errors import InputError
+
+__all__ = [
+    "synthetic_pcap",
+    "SUSPICIOUS_TOKENS",
+    "PCAP_MAGIC",
+    "load_pcap",
+    "save_pcap",
+]
 
 _PATH_WORDS = [
     "index", "home", "login", "api", "v2", "search", "img", "css", "js",
@@ -68,3 +84,65 @@ def synthetic_packets(n_packets: int = 500, *, seed: int = 0) -> list[bytes]:
 def synthetic_pcap(n_packets: int = 500, *, seed: int = 0) -> bytes:
     """Concatenated payload bytes of ``n_packets`` synthetic packets."""
     return b"".join(synthetic_packets(n_packets, seed=seed))
+
+
+#: Classic libpcap magic (microsecond timestamps), native byte order.
+PCAP_MAGIC = 0xA1B2C3D4
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")  # magic, ver, ver, tz, sig, snap, net
+_RECORD_HEADER = struct.Struct("<IIII")  # ts_sec, ts_usec, incl_len, orig_len
+
+
+def save_pcap(path, packets: list[bytes]) -> pathlib.Path:
+    """Write packets as a classic little-endian libpcap file."""
+    out = bytearray(_GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, 65535, 1))
+    for index, packet in enumerate(packets):
+        out += _RECORD_HEADER.pack(index, 0, len(packet), len(packet))
+        out += packet
+    target = pathlib.Path(path)
+    target.write_bytes(bytes(out))
+    return target
+
+
+def load_pcap(path) -> list[bytes]:
+    """Read packet payloads from a libpcap file (either byte order).
+
+    Raises :class:`~repro.errors.InputError` — with ``path`` and the byte
+    ``offset`` of the first structural problem — on a short global header,
+    unknown magic, truncated record header, or a record whose declared
+    length runs past the end of the file.
+    """
+    data = pathlib.Path(path).read_bytes()
+    if len(data) < _GLOBAL_HEADER.size:
+        raise InputError(
+            path, len(data),
+            f"truncated global header ({len(data)} of {_GLOBAL_HEADER.size} bytes)",
+        )
+    magic_le = struct.unpack_from("<I", data)[0]
+    if magic_le == PCAP_MAGIC:
+        order = "<"
+    elif struct.unpack_from(">I", data)[0] == PCAP_MAGIC:
+        order = ">"
+    else:
+        raise InputError(path, 0, f"not a pcap file (magic 0x{magic_le:08X})")
+    record = struct.Struct(f"{order}IIII")
+    packets: list[bytes] = []
+    offset = _GLOBAL_HEADER.size
+    while offset < len(data):
+        if offset + record.size > len(data):
+            raise InputError(
+                path, offset,
+                f"truncated record header for packet {len(packets)} "
+                f"({len(data) - offset} of {record.size} bytes)",
+            )
+        _, _, incl_len, _ = record.unpack_from(data, offset)
+        offset += record.size
+        if offset + incl_len > len(data):
+            raise InputError(
+                path, offset,
+                f"packet {len(packets)} declares {incl_len} bytes but only "
+                f"{len(data) - offset} remain",
+            )
+        packets.append(data[offset:offset + incl_len])
+        offset += incl_len
+    return packets

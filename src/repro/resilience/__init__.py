@@ -1,0 +1,91 @@
+"""Resilient execution: guards, fallback ladders, supervision, resume.
+
+The paper's methodology depends on completing whole-suite sweeps, so
+failure handling is a first-class subsystem rather than ad-hoc
+try/excepts (docs/RESILIENCE.md):
+
+* a **typed failure taxonomy** (:class:`~repro.errors.ScanTimeout`,
+  :class:`~repro.errors.MemoryBudgetExceeded`,
+  :class:`~repro.errors.WorkerCrash`, :class:`~repro.errors.EngineFailure`)
+  carrying engine/segment/offset context;
+* **resource guards** (:mod:`repro.resilience.guards`) — wall-clock
+  deadlines checked at block granularity in every engine's feed loop,
+  and a byte budget on the lazy-DFA memo;
+* an **engine fallback ladder** (:mod:`repro.resilience.ladder`,
+  ``lazydfa -> bitset -> vector -> reference``) that reruns a
+  failed/over-budget scan on the next engine down;
+* a **supervised parallel scan** (:mod:`repro.resilience.supervisor`)
+  with per-segment timeouts, crash detection, bounded retry with
+  jittered backoff, and poison-segment isolation;
+* **checkpointed sweeps** (:mod:`repro.resilience.checkpoint`) so a
+  killed ``repro profile`` / ``repro conformance`` / ``repro table1``
+  resumes from its journal instead of starting over;
+* deterministic **fault injection** (:mod:`repro.resilience.faults`)
+  so every failure path above is testable.
+
+Every guard trip, retry, fallback, and resume emits telemetry counters
+(``resilience.*``), so PROFILE.json records exactly how degraded a run
+was.
+"""
+
+from repro.errors import (
+    CheckpointMismatch,
+    EngineFailure,
+    InputError,
+    MemoryBudgetExceeded,
+    ResilienceError,
+    ScanTimeout,
+    WorkerCrash,
+)
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.faults import FaultPlan, inject_faults
+from repro.resilience.guards import ScanBudget, ScanGuard, current_guard, guard_scope
+
+# The ladder and supervisor import the engine registry, and the engines
+# import repro.resilience.guards — importing them here eagerly would be a
+# cycle.  PEP 562 lazy re-export keeps `from repro.resilience import
+# resilient_scan` working while this package's import stays leaf-light.
+_LAZY = {
+    "DEFAULT_LADDER": "ladder",
+    "LadderOutcome": "ladder",
+    "ladder_from": "ladder",
+    "resilient_scan": "ladder",
+    "SegmentReport": "supervisor",
+    "SupervisedScanResult": "supervisor",
+    "SupervisorConfig": "supervisor",
+    "supervised_parallel_scan": "supervisor",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.resilience' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f"repro.resilience.{module}"), name)
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "CheckpointMismatch",
+    "EngineFailure",
+    "FaultPlan",
+    "InputError",
+    "LadderOutcome",
+    "MemoryBudgetExceeded",
+    "ResilienceError",
+    "ScanBudget",
+    "ScanGuard",
+    "ScanTimeout",
+    "SegmentReport",
+    "SupervisedScanResult",
+    "SupervisorConfig",
+    "SweepCheckpoint",
+    "WorkerCrash",
+    "current_guard",
+    "guard_scope",
+    "inject_faults",
+    "ladder_from",
+    "resilient_scan",
+    "supervised_parallel_scan",
+]

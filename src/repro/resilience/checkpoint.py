@@ -1,0 +1,124 @@
+"""Checkpointed sweeps: journal each cell, resume only what is missing.
+
+A whole-suite sweep (``repro profile``, ``repro conformance``, the
+Table-I path) is a grid of independent cells — (benchmark, engine) rows,
+fuzz seeds, benchmark summaries.  :class:`SweepCheckpoint` journals each
+cell to ``bench_results/*.ckpt.json`` *as it completes*: every record
+atomically rewrites the file (write-temp + ``os.replace``), so a kill at
+any instant leaves a loadable journal of exactly the finished cells.
+
+Resuming (``--resume``) reopens the journal, verifies the sweep
+parameters match (a mismatch raises
+:class:`~repro.errors.CheckpointMismatch` rather than silently mixing
+incompatible cells), and hands back the completed cells so the sweep
+re-runs only the missing ones.  ``resilience.checkpoint.cells_written``
+and ``resilience.resume.cells`` counters make the journal/resume
+activity visible in telemetry snapshots.
+
+Format (``repro.checkpoint/1``)::
+
+    {
+      "schema": "repro.checkpoint/1",
+      "meta":  {...sweep parameters...},
+      "cells": {"<benchmark>::<engine>": {...cell payload...}, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro import telemetry
+from repro.errors import CheckpointMismatch
+
+__all__ = ["CHECKPOINT_SCHEMA", "SweepCheckpoint"]
+
+CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+
+
+class SweepCheckpoint:
+    """One sweep's on-disk cell journal."""
+
+    def __init__(self, path, meta: dict) -> None:
+        self.path = pathlib.Path(path)
+        self.meta = meta
+        self.cells: dict[str, object] = {}
+        self.resumed_cells = 0
+
+    @classmethod
+    def open(cls, path, meta: dict, *, resume: bool = False) -> "SweepCheckpoint":
+        """A checkpoint at ``path``; loads existing cells when resuming.
+
+        Without ``resume`` an existing journal is discarded (the sweep
+        starts over); with it, the stored ``meta`` must equal ``meta``.
+        """
+        ckpt = cls(path, meta)
+        if not resume:
+            return ckpt
+        try:
+            raw = ckpt.path.read_text()
+        except FileNotFoundError:
+            return ckpt  # nothing to resume; run fresh
+        try:
+            stored = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise CheckpointMismatch(path, f"corrupt checkpoint: {exc}") from exc
+        if stored.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointMismatch(
+                path, f"schema {stored.get('schema')!r} != {CHECKPOINT_SCHEMA!r}"
+            )
+        if stored.get("meta") != meta:
+            raise CheckpointMismatch(
+                path,
+                f"sweep parameters changed: checkpoint has {stored.get('meta')!r}, "
+                f"this run wants {meta!r}",
+            )
+        ckpt.cells = dict(stored.get("cells", {}))
+        ckpt.resumed_cells = len(ckpt.cells)
+        telemetry.incr("resilience.resume.sweeps")
+        telemetry.incr("resilience.resume.cells", len(ckpt.cells))
+        return ckpt
+
+    def has(self, key: str) -> bool:
+        return key in self.cells
+
+    def get(self, key: str):
+        return self.cells[key]
+
+    def record(self, key: str, payload) -> None:
+        """Add one finished cell and flush the journal atomically."""
+        self.cells[key] = payload
+        telemetry.incr("resilience.checkpoint.cells_written")
+        self._flush()
+
+    def done(self) -> None:
+        """The sweep completed: the journal has served its purpose."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def _flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "meta": self.meta,
+            "cells": self.cells,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

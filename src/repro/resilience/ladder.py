@@ -1,0 +1,119 @@
+"""The engine fallback ladder: ``lazydfa -> bitset -> vector -> reference``.
+
+One :func:`resilient_scan` call walks the ladder top-down: each rung
+compiles (through the shared engine cache) and runs the scan under a
+fresh :class:`~repro.resilience.guards.ScanGuard`.  A rung that trips a
+guard (:class:`~repro.errors.ScanTimeout`,
+:class:`~repro.errors.MemoryBudgetExceeded`), refuses the automaton
+(:class:`~repro.errors.EngineError`, :class:`~repro.errors.CapacityError`)
+or fails outright (:class:`~repro.errors.EngineFailure`) is recorded and
+the scan *reruns from scratch* on the next engine down.  The ladder ends
+at :class:`~repro.engines.reference.ReferenceEngine`, the semantic
+oracle — slow, but with no capacity limits — so only a wall-clock
+deadline (or a poison fault) can exhaust the whole ladder, which raises
+:class:`~repro.errors.EngineFailure` with the per-rung failure list.
+
+Budgets are **per attempt**: each rung gets its own deadline, so a memo
+blow-up on the lazy DFA does not eat the bitset rerun's time.  Every
+fallback increments ``resilience.fallback`` /
+``resilience.fallback.<engine>``; a scan that completed below its first
+rung increments ``resilience.ladder.degraded``.
+
+Cache-safety contract (the "degraded engine" rule): every rung obtains
+its engine via :func:`~repro.engines.cache.compiled_engine` *under that
+rung's own class key*.  A fallback therefore never caches — and never
+returns to a concurrent caller — a lower-ladder engine under the
+original engine's fingerprint key; the compile cache additionally
+revalidates entry types (see :mod:`repro.engines.cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.core.automaton import Automaton
+from repro.engines import ENGINE_REGISTRY
+from repro.engines.base import RunResult
+from repro.engines.cache import compiled_engine
+from repro.errors import CapacityError, EngineError, EngineFailure, ResilienceError
+from repro.resilience import faults
+from repro.resilience.guards import ScanBudget, ScanGuard, guard_scope
+
+__all__ = ["DEFAULT_LADDER", "LadderOutcome", "ladder_from", "resilient_scan"]
+
+#: Fastest-first: DFA table lookups, bit-parallel NFA, vectorised
+#: active-set, then the pure-Python oracle as the rung of last resort.
+DEFAULT_LADDER: tuple[str, ...] = ("dfa", "bitset", "vector", "reference")
+
+#: Exceptions that mean "this rung failed; try the next one down":
+#: guard trips (ScanTimeout, MemoryBudgetExceeded) and injected faults
+#: are ResilienceErrors; engines refuse automata with EngineError /
+#: CapacityError.  Anything else (a genuine bug, MemoryError,
+#: KeyboardInterrupt) is not the ladder's to swallow and propagates.
+_FALLBACK_ERRORS = (ResilienceError, CapacityError, EngineError)
+
+
+@dataclass
+class LadderOutcome:
+    """One resilient scan: the result plus how degraded it was."""
+
+    result: RunResult
+    engine: str  #: registry name of the engine that completed the scan
+    #: ``(engine, "ErrorType: message")`` for every rung that failed.
+    fallbacks: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.fallbacks)
+
+
+def ladder_from(engine: str, ladder: tuple[str, ...] = DEFAULT_LADDER) -> tuple[str, ...]:
+    """The ladder starting at ``engine`` (or just ``(engine,)`` if it is
+    not a rung — e.g. an engine outside the CPU set)."""
+    if engine in ladder:
+        return ladder[ladder.index(engine):]
+    return (engine,)
+
+
+def resilient_scan(
+    automaton: Automaton,
+    data: bytes,
+    *,
+    ladder: tuple[str, ...] = DEFAULT_LADDER,
+    budget: ScanBudget | None = None,
+    record_active: bool = False,
+    segment: int | None = None,
+) -> LadderOutcome:
+    """Scan ``data``, degrading down ``ladder`` until an engine completes.
+
+    ``budget`` applies per attempt (fresh deadline per rung).  ``segment``
+    is context for error messages, telemetry, and the fault-injection
+    hooks (the supervised pool passes the segment index through).
+    """
+    if not ladder:
+        raise ValueError("ladder needs at least one engine")
+    fallbacks: list[tuple[str, str]] = []
+    for rung in ladder:
+        # Rungs are registry names; an engine *class* is also accepted so
+        # callers with a non-registry engine can still use the machinery.
+        if isinstance(rung, str):
+            engine_cls, name = ENGINE_REGISTRY[rung], rung
+        else:
+            engine_cls, name = rung, rung.__name__
+        try:
+            faults.maybe_fail_engine(name, segment)
+            engine = compiled_engine(automaton, engine_cls)
+            guard = ScanGuard(budget, segment=segment) if budget else None
+            with guard_scope(guard):
+                result = engine.run(data, record_active=record_active)
+        except _FALLBACK_ERRORS as exc:
+            fallbacks.append((name, f"{type(exc).__name__}: {exc}"))
+            telemetry.incr("resilience.fallback")
+            telemetry.incr(f"resilience.fallback.{name}")
+            continue
+        if fallbacks:
+            telemetry.incr("resilience.ladder.degraded")
+        return LadderOutcome(result=result, engine=name, fallbacks=fallbacks)
+    detail = "; ".join(f"{name}: {err}" for name, err in fallbacks)
+    raise EngineFailure("ladder", f"every rung failed ({detail})", segment=segment)

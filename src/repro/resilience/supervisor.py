@@ -1,0 +1,392 @@
+"""Supervised parallel scanning: timeouts, crash recovery, poison isolation.
+
+:func:`supervised_parallel_scan` is the resilient counterpart of
+:func:`repro.engines.parallel.parallel_scan` (which is now a strict-mode
+wrapper over this module).  The input is split with
+:func:`~repro.engines.parallel.split_with_overlap` exactly as before; what
+changes is what happens when a segment scan misbehaves:
+
+* **per-segment timeouts** — each pool future is awaited with
+  ``segment_timeout_s``; an overrun is treated as a failed attempt, not a
+  hung sweep;
+* **crash detection** — a dead worker process surfaces as
+  ``BrokenExecutor`` / ``BrokenProcessPool``; the supervisor records a
+  :class:`~repro.errors.WorkerCrash` for the affected segments and keeps
+  going (remaining in-flight segments are retried too, since a broken
+  pool loses them all);
+* **bounded retry with jittered backoff** — failed segments are retried
+  up to ``max_attempts`` times *in the supervisor's own process* through
+  the engine fallback ladder (:func:`~repro.resilience.ladder
+  .resilient_scan`), with ``min(cap, base * 2**(attempt-1))`` backoff
+  jittered by a seeded RNG so retries are reproducible;
+* **poison-segment isolation** — a segment that exhausts its attempts is
+  quarantined as a structured :class:`SegmentReport` with ``error`` set;
+  the scan completes with a partial (but deterministic) result instead
+  of dying, and ``complete`` is ``False``.
+
+The merge is deterministic regardless of completion order: reports are
+re-offset into stream coordinates, filtered to each segment's keep
+range, and sorted — identical segments in, identical stream out.
+
+Telemetry: ``resilience.segment.timeout``, ``resilience.segment.crash``,
+``resilience.pool.broken``, ``resilience.segment.retries``,
+``resilience.segment.poisoned``, plus the ladder/guard counters emitted
+by the per-attempt machinery.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.core.automaton import Automaton
+from repro.engines import ENGINE_REGISTRY
+from repro.engines.base import ReportEvent, RunResult
+from repro.engines.cache import compiled_engine
+from repro.engines.parallel import Segment, split_with_overlap
+from repro.engines.prefilter import max_match_length
+from repro.errors import (
+    EngineError,
+    EngineFailure,
+    ReproError,
+    ScanTimeout,
+    WorkerCrash,
+)
+from repro.resilience import faults
+from repro.resilience.guards import ScanBudget, ScanGuard, guard_scope
+from repro.resilience.ladder import ladder_from, resilient_scan
+
+__all__ = [
+    "SegmentReport",
+    "SupervisedScanResult",
+    "SupervisorConfig",
+    "supervised_parallel_scan",
+]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """How hard the supervisor tries before quarantining a segment."""
+
+    #: Wall-clock allowance per pool-submitted segment attempt; ``None``
+    #: waits indefinitely (strict mode).
+    segment_timeout_s: float | None = None
+    #: Total attempts per segment (first pool attempt + supervised
+    #: retries).  1 means fail-fast: any segment error aborts the scan.
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    #: Seeds the backoff jitter so retry timing is reproducible.
+    seed: int = 0
+    #: Per-attempt engine resource budget (deadline, memo bytes).
+    budget: ScanBudget | None = None
+    #: Retry attempts walk the fallback ladder from the primary engine
+    #: down; ``False`` pins every attempt to the primary engine.
+    ladder_retries: bool = True
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Jittered exponential backoff before retry ``attempt`` (>= 2)."""
+        base = min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 2))
+        return base * (0.5 + rng.random())
+
+
+@dataclass
+class SegmentReport:
+    """What happened to one segment: who scanned it, at what cost."""
+
+    index: int
+    segment: Segment
+    engine: str | None = None  #: engine that completed it (None if poisoned)
+    attempts: int = 0
+    #: ``(engine, "ErrorType: message")`` per failed rung/attempt.
+    failures: list[tuple[str, str]] = field(default_factory=list)
+    #: Terminal error string for a quarantined (poison) segment.
+    error: str | None = None
+    #: The last exception object (strict-mode callers re-raise it).
+    exception: Exception | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SupervisedScanResult:
+    """A supervised scan: merged result plus per-segment provenance."""
+
+    result: RunResult
+    segments: list[SegmentReport]
+
+    @property
+    def complete(self) -> bool:
+        """True when every segment's reports made it into ``result``."""
+        return all(report.ok for report in self.segments)
+
+    @property
+    def poisoned(self) -> list[SegmentReport]:
+        return [report for report in self.segments if not report.ok]
+
+    @property
+    def degraded(self) -> bool:
+        return any(report.failures for report in self.segments)
+
+
+def _scan_segment_supervised(args):
+    """Pool-side single attempt: scan one pre-sliced chunk, return events.
+
+    Module-level and fed only picklable arguments so it works on process
+    pools.  Mirrors the telemetry protocol of the original serial path:
+    spans/counters recorded here are snapshotted and the delta shipped
+    back for pid-aware merging in the supervisor.
+    """
+    (automaton, chunk, segment, index, engine_cls, label, collect, plan,
+     parent_pid, budget) = args
+    was_enabled = telemetry.is_enabled()
+    if collect and not was_enabled:
+        telemetry.enable()
+    before = telemetry.snapshot() if collect else None
+    try:
+        faults.maybe_crash(plan, index, 1, parent_pid)
+        faults.maybe_stall(plan, index, 1)
+        if plan is not None and plan.scoped_to_segment(label, index):
+            raise EngineFailure(label, "injected engine failure", segment=index)
+        engine = compiled_engine(automaton, engine_cls)
+        guard = ScanGuard(budget, segment=index) if budget else None
+        with telemetry.span("parallel.segment"), guard_scope(guard):
+            result = engine.run(chunk)
+        events = [
+            ReportEvent(event.offset + segment.scan_start, event.ident, event.code)
+            for event in result.reports
+            if event.offset + segment.scan_start >= segment.keep_from
+        ]
+        error = None
+    except ReproError as exc:
+        # Ship library failures back as values: the supervisor owns the
+        # retry decision, and structured returns survive any pool.
+        events, error = None, exc
+    delta = telemetry.diff_snapshots(before, telemetry.snapshot()) if collect else None
+    if collect and not was_enabled:
+        telemetry.disable()
+    return events, delta, error
+
+
+def _note_failure(report: SegmentReport, engine: str, error: Exception) -> None:
+    """Record one failed attempt on ``report`` (with crash accounting)."""
+    if isinstance(error, WorkerCrash):
+        telemetry.incr("resilience.segment.crash")
+    report.failures.append((engine, f"{type(error).__name__}: {error}"))
+    report.exception = error
+
+
+def _merge_worker_delta(delta) -> None:
+    """Merge a worker's telemetry delta unless it is already local.
+
+    Counter/timer deltas recorded inside *other processes* (a process
+    pool) must be merged back; same-pid deltas (serial path or thread
+    pools) already live in this registry.
+    """
+    if delta is not None and delta.get("pid") != os.getpid():
+        telemetry.merge(delta)
+
+
+def _retry_segment(
+    automaton: Automaton,
+    data: bytes,
+    segment: Segment,
+    report: SegmentReport,
+    engine_cls,
+    label: str,
+    config: SupervisorConfig,
+    rng: random.Random,
+) -> list[ReportEvent] | None:
+    """Supervisor-side retries for one failed segment.
+
+    Runs in the supervisor's process (the pool may be broken), walking
+    the fallback ladder per attempt.  Returns the keep-filtered events,
+    or ``None`` once the segment is poisoned.
+    """
+    if config.ladder_retries and label in ENGINE_REGISTRY:
+        ladder = ladder_from(label)
+    elif label in ENGINE_REGISTRY:
+        ladder = (label,)
+    else:
+        ladder = (engine_cls,)  # non-registry engine: rerun it directly
+    chunk = data[segment.scan_start : segment.end]
+    while report.attempts < config.max_attempts:
+        report.attempts += 1
+        telemetry.incr("resilience.segment.retries")
+        time.sleep(config.backoff_s(report.attempts, rng))
+        try:
+            faults.maybe_crash(None, report.index, report.attempts, os.getpid())
+            faults.maybe_stall(None, report.index, report.attempts)
+            outcome = resilient_scan(
+                automaton,
+                chunk,
+                ladder=ladder,
+                budget=config.budget,
+                segment=report.index,
+            )
+        except ReproError as exc:
+            _note_failure(report, "retry", exc)
+            continue
+        report.engine = outcome.engine
+        report.failures.extend(outcome.fallbacks)
+        return [
+            ReportEvent(event.offset + segment.scan_start, event.ident, event.code)
+            for event in outcome.result.reports
+            if event.offset + segment.scan_start >= segment.keep_from
+        ]
+    telemetry.incr("resilience.segment.poisoned")
+    report.engine = None
+    report.error = report.failures[-1][1] if report.failures else "exhausted attempts"
+    return None
+
+
+def supervised_parallel_scan(
+    automaton: Automaton,
+    data: bytes,
+    n_segments: int,
+    *,
+    pool=None,
+    engine="vector",
+    config: SupervisorConfig | None = None,
+) -> SupervisedScanResult:
+    """Scan ``data`` in overlapped segments under supervision.
+
+    Same segmentation preconditions as
+    :func:`~repro.engines.parallel.parallel_scan` (unanchored automaton,
+    finite match length).  ``pool`` is any ``concurrent.futures``
+    executor; without one, segments run serially in-process (first
+    attempts still honour budgets and fault hooks).  ``engine`` is the
+    *primary* engine — a registry name or an :class:`Engine` subclass;
+    retries degrade down the fallback ladder from there.
+    """
+    from repro.core.elements import StartMode
+
+    if isinstance(engine, str):
+        if engine not in ENGINE_REGISTRY:
+            raise EngineError(f"unknown engine {engine!r}")
+        engine_cls, label = ENGINE_REGISTRY[engine], engine
+    else:
+        engine_cls = engine
+        label = next(
+            (n for n, c in ENGINE_REGISTRY.items() if c is engine_cls),
+            engine_cls.__name__,
+        )
+    if any(s.start is StartMode.START_OF_DATA for s in automaton.stes()):
+        raise EngineError("parallel_scan requires an unanchored automaton")
+    window = max_match_length(automaton)
+    if window is None:
+        raise EngineError(
+            "automaton has unbounded match length; segment overlap cannot "
+            "bound cross-boundary matches"
+        )
+    config = config or SupervisorConfig()
+    segments = split_with_overlap(len(data), n_segments, max(window - 1, 0))
+    collect = telemetry.is_enabled()
+    telemetry.incr("parallel.scans")
+    telemetry.incr("parallel.segments", len(segments))
+    plan = faults.active_plan()
+    parent_pid = os.getpid()
+    reports = [SegmentReport(index=i, segment=s) for i, s in enumerate(segments)]
+    events_by_segment: list[list[ReportEvent] | None] = [None] * len(segments)
+
+    def task_for(index: int):
+        segment = segments[index]
+        return (
+            automaton,
+            data[segment.scan_start : segment.end],
+            segment,
+            index,
+            engine_cls,
+            label,
+            collect,
+            plan,
+            parent_pid,
+            config.budget,
+        )
+
+    failed: list[int] = []
+    if pool is None:
+        for index in range(len(segments)):
+            reports[index].attempts = 1
+            events, delta, error = _scan_segment_supervised(task_for(index))
+            _merge_worker_delta(delta)
+            if error is not None:
+                _note_failure(reports[index], label, error)
+                failed.append(index)
+            else:
+                reports[index].engine = label
+                events_by_segment[index] = events
+    else:
+        futures = {index: pool.submit(_scan_segment_supervised, task_for(index))
+                   for index in range(len(segments))}
+        pool_broken = False
+        for index, future in futures.items():
+            reports[index].attempts = 1
+            if pool_broken:
+                # A broken pool loses every in-flight task; don't block on
+                # futures that can no longer complete.
+                _note_failure(
+                    reports[index], label, WorkerCrash(index, 1, "pool broken")
+                )
+                failed.append(index)
+                continue
+            try:
+                events, delta, error = future.result(timeout=config.segment_timeout_s)
+            except FuturesTimeoutError:
+                telemetry.incr("resilience.segment.timeout")
+                future.cancel()
+                _note_failure(
+                    reports[index],
+                    label,
+                    ScanTimeout(
+                        label,
+                        segments[index].scan_start,
+                        config.segment_timeout_s or 0.0,
+                        segment=index,
+                    ),
+                )
+                failed.append(index)
+                continue
+            except BrokenExecutor:
+                telemetry.incr("resilience.pool.broken")
+                pool_broken = True
+                _note_failure(reports[index], label, WorkerCrash(index, 1))
+                failed.append(index)
+                continue
+            _merge_worker_delta(delta)
+            if error is not None:
+                _note_failure(reports[index], label, error)
+                failed.append(index)
+            else:
+                reports[index].engine = label
+                events_by_segment[index] = events
+
+    if failed and config.max_attempts > 1:
+        rng = random.Random(config.seed)
+        for index in failed:
+            events_by_segment[index] = _retry_segment(
+                automaton, data, segments[index], reports[index],
+                engine_cls, label, config, rng
+            )
+    elif failed:
+        for index in failed:
+            telemetry.incr("resilience.segment.poisoned")
+            reports[index].error = reports[index].failures[-1][1]
+
+    merged = sorted(
+        event
+        for events in events_by_segment
+        if events is not None
+        for event in events
+    )
+    return SupervisedScanResult(
+        result=RunResult(reports=merged, cycles=len(data)),
+        segments=reports,
+    )

@@ -17,6 +17,14 @@ traceable to instrumented engine behaviour:
 
 The schema is documented in docs/OBSERVABILITY.md and stamped into the
 payload as ``schema``.
+
+The sweep is *checkpointed* (docs/RESILIENCE.md): with a ``checkpoint``
+path every finished (benchmark, engine) cell is journaled as it
+completes, and ``resume=True`` re-runs only the missing cells — a killed
+``repro profile`` continues instead of starting over.  With a ``budget``
+each engine cell runs under the fallback ladder, so guard trips degrade
+the cell to a lower engine (recorded in the row) instead of failing the
+sweep; all ``resilience.*`` counters surface in the payload.
 """
 
 from __future__ import annotations
@@ -29,7 +37,11 @@ from repro import telemetry
 from repro.benchmarks import build_benchmark
 from repro.engines import ENGINE_REGISTRY
 from repro.engines.cache import clear_engine_cache, compiled_engine, engine_cache_info
-from repro.errors import CapacityError, EngineError
+from repro.errors import CapacityError, EngineError, ResilienceError
+from repro.resilience import faults
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.guards import ScanBudget
+from repro.resilience.ladder import ladder_from, resilient_scan
 
 __all__ = [
     "PROFILE_SCHEMA",
@@ -56,8 +68,15 @@ SMOKE_SCALE = 0.002
 SMOKE_LIMIT = 2_000
 
 
-def _engine_profile(bench, engine_name: str, data: bytes) -> dict:
-    """Compile + run one engine over one benchmark input, instrumented."""
+def _engine_profile(
+    bench, engine_name: str, data: bytes, budget: ScanBudget | None = None
+) -> dict:
+    """Compile + run one engine over one benchmark input, instrumented.
+
+    With a ``budget`` the cell runs under the fallback ladder: a guard
+    trip degrades the scan to the next engine down instead of failing
+    the cell, and the row records which engine actually completed it.
+    """
     engine_cls = ENGINE_REGISTRY[engine_name]
     cache_before = engine_cache_info()
     snap_before = telemetry.snapshot()
@@ -70,11 +89,29 @@ def _engine_profile(bench, engine_name: str, data: bytes) -> dict:
     cache_after = engine_cache_info()
 
     scan_t0 = time.perf_counter()
-    result = engine.run(data, record_active=True)
+    if budget is not None:
+        try:
+            outcome = resilient_scan(
+                bench.automaton,
+                data,
+                ladder=ladder_from(engine_name),
+                budget=budget,
+                record_active=True,
+            )
+        except ResilienceError as exc:  # every rung failed
+            return {"skipped": f"{type(exc).__name__}: {exc}"}
+        result, engine_used, fallbacks = (
+            outcome.result,
+            outcome.engine,
+            outcome.fallbacks,
+        )
+    else:
+        result = engine.run(data, record_active=True)
+        engine_used, fallbacks = engine_name, []
     scan_s = time.perf_counter() - scan_t0
     active = result.active_per_cycle or []
     delta = telemetry.diff_snapshots(snap_before, telemetry.snapshot())
-    return {
+    row = {
         "compile_s": round(compile_s, 6),
         "cache_hit": cache_after.hits > cache_before.hits,
         "scan_s": round(scan_s, 6),
@@ -85,6 +122,10 @@ def _engine_profile(bench, engine_name: str, data: bytes) -> dict:
         "max_active_set": max(active, default=0),
         "counters": delta["counters"],
     }
+    if engine_used != engine_name or fallbacks:
+        row["engine_used"] = engine_used
+        row["fallbacks"] = [list(f) for f in fallbacks]
+    return row
 
 
 def run_profile(
@@ -95,30 +136,75 @@ def run_profile(
     seed: int = 0,
     limit: int | None = 10_000,
     smoke: bool = False,
+    budget: ScanBudget | None = None,
+    checkpoint: str | pathlib.Path | None = None,
+    resume: bool = False,
 ) -> dict:
     """Run the instrumented sweep and return the PROFILE.json payload.
 
     Telemetry is enabled for the duration (prior enabled-state restored),
     the registry is reset so the snapshot covers exactly this sweep, and
     the compile cache is cleared so compile timings are real compiles.
+
+    With ``checkpoint`` every finished cell is journaled; ``resume=True``
+    skips cells the journal already holds (their counter deltas are
+    merged back so the payload's telemetry stays cumulative).  The
+    journal is deleted once the sweep completes.
     """
     was_enabled = telemetry.is_enabled()
     telemetry.enable()
     telemetry.reset()
     clear_engine_cache()
+    meta = {
+        "names": list(names),
+        "engines": list(engines),
+        "scale": scale,
+        "seed": seed,
+        "limit": limit,
+        "smoke": smoke,
+    }
+    ckpt = (
+        SweepCheckpoint.open(checkpoint, meta, resume=resume) if checkpoint else None
+    )
     started = time.perf_counter()
     benchmarks: dict[str, dict] = {}
+
+    def restore_row(row: dict) -> dict:
+        # Fold a resumed cell's counter delta back into the live registry
+        # so the payload's cumulative telemetry covers resumed work too.
+        if row.get("counters"):
+            telemetry.merge({"counters": row["counters"]})
+        return row
+
     try:
         for name in names:
+            bench_key = f"{name}::__benchmark__"
+            if (
+                ckpt is not None
+                and ckpt.has(bench_key)
+                and all(ckpt.has(f"{name}::{e}") for e in engines)
+            ):
+                # Every cell of this benchmark resumed: skip the build.
+                rows = {e: restore_row(ckpt.get(f"{name}::{e}")) for e in engines}
+                benchmarks[name] = {**ckpt.get(bench_key), "engines": rows}
+                continue
             bench_before = telemetry.snapshot()
             bench = build_benchmark(name, scale=scale, seed=seed)
             build_delta = telemetry.diff_snapshots(bench_before, telemetry.snapshot())
             data = bench.input_data[:limit] if limit else bench.input_data
-            rows = {
-                engine_name: _engine_profile(bench, engine_name, data)
-                for engine_name in engines
-            }
-            benchmarks[name] = {
+            rows = {}
+            for engine_name in engines:
+                cell_key = f"{name}::{engine_name}"
+                if ckpt is not None and ckpt.has(cell_key):
+                    rows[engine_name] = restore_row(ckpt.get(cell_key))
+                    continue
+                rows[engine_name] = _engine_profile(
+                    bench, engine_name, data, budget=budget
+                )
+                if ckpt is not None:
+                    ckpt.record(cell_key, rows[engine_name])
+                    faults.maybe_halt_after_cells(len(ckpt.cells))
+            info = {
                 "states": bench.automaton.n_states,
                 "input_symbols": len(data),
                 "build_s": round(
@@ -127,10 +213,14 @@ def run_profile(
                 "lint_s": round(
                     telemetry.timer_total(f"benchmark.lint.{name}", build_delta), 6
                 ),
-                "engines": rows,
             }
+            if ckpt is not None:
+                ckpt.record(bench_key, info)
+                faults.maybe_halt_after_cells(len(ckpt.cells))
+            benchmarks[name] = {**info, "engines": rows}
         cache = engine_cache_info()
-        return {
+        snapshot = telemetry.snapshot()
+        payload = {
             "schema": PROFILE_SCHEMA,
             "smoke": smoke,
             "scale": scale,
@@ -144,8 +234,19 @@ def run_profile(
                 "size": cache.size,
                 "maxsize": cache.maxsize,
             },
-            "telemetry": telemetry.snapshot(),
+            "resilience": {
+                "resumed_cells": ckpt.resumed_cells if ckpt is not None else 0,
+                "counters": {
+                    key: value
+                    for key, value in snapshot["counters"].items()
+                    if key.startswith("resilience.")
+                },
+            },
+            "telemetry": snapshot,
         }
+        if ckpt is not None:
+            ckpt.done()
+        return payload
     finally:
         if not was_enabled:
             telemetry.disable()

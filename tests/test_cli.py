@@ -161,3 +161,113 @@ class TestVerify:
         assert code == 0
         out = capsys.readouterr().out
         assert out.count("ok") == 2
+
+
+class TestTypedExitCodes:
+    """Typed failures map to distinct exit codes (docs/RESILIENCE.md)."""
+
+    def test_mapping_is_stable(self):
+        from repro import errors
+        from repro.cli import exit_code_for
+
+        cases = [
+            (errors.RegexError("x"), 2),
+            (errors.InputError("f", 0, "bad"), 5),
+            (errors.ScanTimeout("vector", 10, 0.5), 6),
+            (errors.MemoryBudgetExceeded("lazydfa", 10, 5), 7),
+            (errors.WorkerCrash(1, 2), 8),
+            (errors.EngineFailure("dfa", "boom"), 9),
+            (errors.CapacityError("too big"), 10),
+            (errors.EngineError("nope"), 11),
+            (errors.CheckpointMismatch("p", "meta changed"), 12),
+        ]
+        assert [exit_code_for(e) for e, _ in cases] == [c for _, c in cases]
+
+    def test_cli_prints_one_line_and_exits_typed(self, tmp_path, capsys):
+        target = tmp_path / "haystack.txt"
+        target.write_text("nothing")
+        code = main(["grep", "(", str(target)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.strip() == "repro: RegexError: unterminated group"
+
+    def test_debug_reraises(self, tmp_path):
+        from repro.errors import RegexError
+
+        target = tmp_path / "haystack.txt"
+        target.write_text("nothing")
+        with pytest.raises(RegexError):
+            main(["--debug", "grep", "(", str(target)])
+
+    def test_completed_sweep_cleans_up_journal(self, tmp_path, capsys):
+        ckpt = tmp_path / "t.ckpt.json"
+        assert (
+            main(
+                ["table1", "--names", "Snort", "--scale", "0.002",
+                 "--checkpoint", str(ckpt)]
+            )
+            == 0
+        )
+        assert not ckpt.exists()  # completed sweeps clean up their journal
+        # leave a journal from a different sweep shape behind
+        assert (
+            main(
+                ["table1", "--names", "Snort", "--scale", "0.002",
+                 "--checkpoint", str(ckpt), "--resume"]
+            )
+            == 0
+        )  # resume with no journal is a fresh start
+        capsys.readouterr()
+
+
+class TestTable1Checkpoint:
+    def test_meta_mismatch_is_a_typed_failure(self, tmp_path, capsys):
+        from repro.resilience.checkpoint import SweepCheckpoint
+
+        ckpt = tmp_path / "t1.ckpt.json"
+        journal = SweepCheckpoint.open(
+            ckpt, {"names": ["Snort"], "scale": 0.005, "seed": 0, "limit": 2000}
+        )
+        journal.record("Snort::row", {})
+        # resuming a sweep with different parameters must refuse, not mix
+        code = main(["table1", "--names", "Snort", "--scale", "0.002",
+                     "--limit", "2000", "--checkpoint", str(ckpt), "--resume"])
+        err = capsys.readouterr().err
+        assert code == 12
+        assert "CheckpointMismatch" in err
+
+    def test_resume_reuses_journaled_rows(self, tmp_path, capsys, monkeypatch):
+        args = ["table1", "--names", "Snort", "--scale", "0.002",
+                "--limit", "2000"]
+        assert main(args) == 0
+        expected = capsys.readouterr().out
+
+        ckpt = tmp_path / "t1.ckpt.json"
+        assert main(args + ["--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+
+        # interrupt before cleanup by copying the journal mid-sweep is
+        # fiddly; instead journal a full sweep, then verify --resume with a
+        # pre-seeded journal skips the build entirely.
+        import repro.cli as cli_module
+        from repro.resilience.checkpoint import SweepCheckpoint
+        import dataclasses
+        from repro.benchmarks import build_benchmark
+        from repro.stats import summarize_benchmark
+
+        meta = {"names": ["Snort"], "scale": 0.002, "seed": 0, "limit": 2000}
+        bench = build_benchmark("Snort", scale=0.002, seed=0)
+        row = summarize_benchmark(
+            bench.name, bench.domain, bench.input_desc, bench.automaton,
+            bench.input_data[:2000], compress=bench.compressible,
+        )
+        journal = SweepCheckpoint.open(ckpt, meta)
+        journal.record("Snort::row", dataclasses.asdict(row))
+
+        def boom(*a, **k):
+            raise AssertionError("resume must not rebuild journaled benchmarks")
+
+        monkeypatch.setattr(cli_module, "build_benchmark", boom)
+        assert main(args + ["--checkpoint", str(ckpt), "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == expected

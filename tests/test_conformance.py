@@ -270,3 +270,41 @@ class TestLongCampaign:
             config=CaseConfig(max_states=18, max_input_len=120),
         )
         assert report.clean, summary_dict(report)
+
+
+class TestCampaignResilience:
+    """Time budgets and checkpointed resume (docs/RESILIENCE.md)."""
+
+    def test_max_seconds_truncates_with_valid_summary(self):
+        report = run_campaign(10_000, max_seconds=0.2)
+        assert report.truncated
+        assert 0 < report.completed_seeds < 10_000
+        summary = summary_dict(report)
+        json.dumps(summary)  # still a complete, valid document
+        assert summary["truncated"] is True
+        assert summary["completed_seeds"] == report.completed_seeds
+
+    def test_unbudgeted_campaign_is_not_truncated(self):
+        report = run_campaign(8)
+        assert not report.truncated
+        assert report.completed_seeds == 8
+
+    def test_truncated_campaign_keeps_journal_and_resumes(self, tmp_path):
+        ckpt = tmp_path / "c.ckpt.json"
+        # tiny budget: some seeds finish, the journal survives
+        first = run_campaign(200, max_seconds=0.15, checkpoint=ckpt)
+        assert first.truncated
+        assert ckpt.exists()
+        done_before = first.completed_seeds
+        assert len(json.loads(ckpt.read_text())["cells"]) == done_before
+
+        resumed = run_campaign(200, checkpoint=ckpt, resume=True)
+        assert not resumed.truncated
+        assert resumed.completed_seeds == 200
+        assert not ckpt.exists()
+        # resumed records match a straight-through campaign
+        straight = run_campaign(200)
+        key = lambda rec: (rec.seed, rec.divergence.subject)
+        assert sorted(map(key, resumed.records)) == sorted(
+            map(key, straight.records)
+        )

@@ -180,3 +180,40 @@ class TestAutoEngine:
     def test_falls_back_to_vector_over_cap(self):
         eng = auto_engine(literal(), max_states=1)
         assert type(eng) is VectorEngine
+
+
+class TestTypeRevalidation:
+    """The degraded-engine cache rule (docs/RESILIENCE.md).
+
+    A fallback ladder compiles each rung under its own class key, so a
+    type-confused entry should be impossible — but if one ever appears
+    (a bug, or surgery on cache internals), the hit path must evict and
+    recompile rather than hand the wrong engine type to every future
+    caller of the original key.
+    """
+
+    def test_wrong_type_entry_evicted_and_recompiled(self):
+        from repro.engines import cache as cache_module
+
+        automaton = literal()
+        compiled_engine(automaton, BitsetEngine)
+        (key,) = cache_module._cache.keys()
+        cache_module._cache[key] = VectorEngine(automaton)  # poison the entry
+
+        engine = compiled_engine(automaton, BitsetEngine)
+        assert type(engine) is BitsetEngine
+        # and the repaired entry is now served as a normal hit
+        assert compiled_engine(automaton, BitsetEngine) is engine
+
+    def test_fallback_caches_each_rung_under_own_key(self):
+        from repro.engines.lazydfa import LazyDFAEngine
+        from repro.resilience import FaultPlan, inject_faults, resilient_scan
+
+        automaton = literal("abc")
+        with inject_faults(FaultPlan(fail_engines=frozenset({"bitset"}))):
+            outcome = resilient_scan(automaton, b"xxabcxx", ladder=("bitset", "vector"))
+        assert outcome.engine == "vector"
+        # the degraded run never cached a vector engine under bitset's key
+        assert type(compiled_engine(automaton, BitsetEngine)) is BitsetEngine
+        assert type(compiled_engine(automaton, VectorEngine)) is VectorEngine
+        assert type(compiled_engine(automaton, LazyDFAEngine)) is LazyDFAEngine

@@ -120,3 +120,135 @@ class TestCorpus:
 
         counts = Counter(tags)
         assert max(counts.values()) > 2 * min(counts.values())
+
+
+class TestPcapLoader:
+    """libpcap container round-trip; malformed files fail typed."""
+
+    def test_round_trip(self, tmp_path):
+        from repro.inputs.pcap import load_pcap, save_pcap, synthetic_packets
+
+        packets = synthetic_packets(40, seed=2)
+        path = save_pcap(tmp_path / "t.pcap", packets)
+        assert load_pcap(path) == packets
+
+    def test_big_endian_accepted(self, tmp_path):
+        import struct
+
+        from repro.inputs.pcap import PCAP_MAGIC, load_pcap
+
+        path = tmp_path / "be.pcap"
+        payload = b"\xde\xad\xbe\xef"
+        path.write_bytes(
+            struct.pack(">IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 1)
+            + struct.pack(">IIII", 0, 0, len(payload), len(payload))
+            + payload
+        )
+        assert load_pcap(path) == [payload]
+
+    @pytest.mark.parametrize(
+        "mutate,expected_offset",
+        [
+            (lambda raw: raw[:12], 12),  # short global header
+            (lambda raw: b"\x00" * len(raw), 0),  # bad magic
+            (lambda raw: raw[:-3], None),  # truncated final packet
+        ],
+    )
+    def test_malformed_raises_input_error(self, tmp_path, mutate, expected_offset):
+        from repro.errors import InputError
+        from repro.inputs.pcap import load_pcap, save_pcap, synthetic_packets
+
+        path = save_pcap(tmp_path / "t.pcap", synthetic_packets(5, seed=0))
+        path.write_bytes(mutate(path.read_bytes()))
+        with pytest.raises(InputError) as info:
+            load_pcap(path)
+        assert info.value.path == str(path)
+        if expected_offset is not None:
+            assert info.value.offset == expected_offset
+
+
+class TestCorpusLoader:
+    def test_round_trip(self, tmp_path):
+        from repro.inputs.corpus import generate_tagged_corpus, load_tagged_corpus
+
+        stream = generate_tagged_corpus(500, seed=3)
+        path = tmp_path / "c.bin"
+        path.write_bytes(stream)
+        assert load_tagged_corpus(path) == stream
+
+    def test_odd_length_fails_typed(self, tmp_path):
+        from repro.errors import InputError
+        from repro.inputs.corpus import generate_tagged_corpus, load_tagged_corpus
+
+        path = tmp_path / "c.bin"
+        path.write_bytes(generate_tagged_corpus(10, seed=0) + b"\x01")
+        with pytest.raises(InputError) as info:
+            load_tagged_corpus(path)
+        assert "odd stream length" in str(info.value)
+
+    @pytest.mark.parametrize("position,bad_byte", [(8, 0), (8, 255), (9, 60)])
+    def test_out_of_range_symbol_fails_at_offset(self, tmp_path, position, bad_byte):
+        from repro.errors import InputError
+        from repro.inputs.corpus import generate_tagged_corpus, load_tagged_corpus
+
+        stream = bytearray(generate_tagged_corpus(20, seed=1))
+        stream[position] = bad_byte
+        path = tmp_path / "c.bin"
+        path.write_bytes(bytes(stream))
+        with pytest.raises(InputError) as info:
+            load_tagged_corpus(path)
+        assert info.value.offset == position
+
+
+class TestCarver:
+    def test_recovers_ground_truth(self):
+        from repro.inputs.diskimage import build_disk_image, carve
+
+        image = build_disk_image(
+            ["png", "zip", "jpeg", "mp4", "mpeg2", "png"], seed=9
+        )
+        carved = {(e.offset, e.kind) for e in carve(image.data)}
+        truth = {(e.offset, e.kind) for e in image.entries if e.kind != "text"}
+        assert truth <= carved
+
+    def test_load_disk_image_round_trip(self, tmp_path):
+        from repro.inputs.diskimage import build_disk_image, load_disk_image
+
+        image = build_disk_image(["zip", "png"], seed=4)
+        path = tmp_path / "img.bin"
+        path.write_bytes(image.data)
+        loaded = load_disk_image(path)
+        assert loaded.data == image.data
+        assert any(e.kind == "zip" for e in loaded.entries)
+
+    def test_truncated_zip_fails_typed(self, tmp_path):
+        from repro.errors import InputError
+        from repro.inputs.diskimage import build_disk_image, carve
+
+        image = build_disk_image(["text", "zip"], seed=5)
+        zip_entry = next(e for e in image.entries if e.kind == "zip")
+        truncated = image.data[: zip_entry.offset + 18]
+        with pytest.raises(InputError) as info:
+            carve(truncated, path="img.bin")
+        assert info.value.path == "img.bin"
+        assert info.value.offset >= zip_entry.offset
+
+    def test_zip_entry_overrunning_image_fails_typed(self):
+        import struct
+
+        from repro.errors import InputError
+        from repro.inputs.diskimage import carve
+
+        header = struct.pack(
+            "<IHHHHHIIIHH", 0x04034B50, 20, 0, 0, 0, 0, 0, 10_000, 10_000, 5, 0
+        )
+        with pytest.raises(InputError) as info:
+            carve(header + b"x.txt" + b"short", path="<memory>")
+        assert "remain" in str(info.value)
+
+    def test_png_missing_trailer_fails_typed(self):
+        from repro.errors import InputError
+        from repro.inputs.diskimage import carve
+
+        with pytest.raises(InputError):
+            carve(b"\x89PNG\r\n\x1a\n" + b"\x00" * 64)

@@ -1,0 +1,302 @@
+"""Resilient-execution tests: guards, ladder, supervisor, checkpoints.
+
+Fault injection is deterministic (:class:`repro.resilience.faults.FaultPlan`);
+every recovery path is asserted to produce report streams *identical* to
+the ReferenceEngine single-stream scan — degraded, never different.
+"""
+
+import concurrent.futures
+import pickle
+
+import pytest
+
+from repro import telemetry
+from repro.engines import BitsetEngine, ReferenceEngine, VectorEngine
+from repro.engines.parallel import parallel_scan
+from repro.errors import (
+    CheckpointMismatch,
+    EngineFailure,
+    InputError,
+    MemoryBudgetExceeded,
+    ScanTimeout,
+    WorkerCrash,
+)
+from repro.inputs.pcap import synthetic_pcap
+from repro.regex import compile_regex
+from repro.resilience import (
+    FaultPlan,
+    ScanBudget,
+    ScanGuard,
+    SupervisorConfig,
+    SweepCheckpoint,
+    guard_scope,
+    inject_faults,
+    ladder_from,
+    resilient_scan,
+    supervised_parallel_scan,
+)
+
+PATTERN = "(cmd\\.exe|SELECT|powershell|admin)"
+
+
+@pytest.fixture()
+def automaton():
+    return compile_regex(PATTERN)
+
+
+@pytest.fixture()
+def data():
+    return synthetic_pcap(120, seed=7)
+
+
+@pytest.fixture()
+def oracle(automaton, data):
+    return fingerprints(ReferenceEngine(automaton).run(data))
+
+
+def fingerprints(result):
+    return [(r.offset, r.ident, repr(r.code)) for r in result.reports]
+
+
+@pytest.fixture(autouse=True)
+def _telemetry():
+    was_enabled = telemetry.is_enabled()
+    telemetry.enable()
+    telemetry.reset()
+    yield
+    telemetry.reset()
+    if not was_enabled:
+        telemetry.disable()
+
+
+def counter(name: str) -> int:
+    return telemetry.snapshot()["counters"].get(name, 0)
+
+
+class TestGuards:
+    @pytest.mark.parametrize("engine_cls", [ReferenceEngine, VectorEngine, BitsetEngine])
+    def test_exhausted_deadline_trips_every_engine(self, engine_cls, automaton, data):
+        engine = engine_cls(automaton)
+        with guard_scope(ScanGuard(ScanBudget(wall_s=0.0))):
+            with pytest.raises(ScanTimeout):
+                engine.run(data)
+        assert counter("resilience.guard.timeout") >= 1
+
+    def test_timeout_carries_context(self, automaton, data):
+        with guard_scope(ScanGuard(ScanBudget(wall_s=0.0), segment=3)):
+            with pytest.raises(ScanTimeout) as info:
+                VectorEngine(automaton).run(data)
+        assert info.value.engine == "vector"
+        assert info.value.segment == 3
+
+    def test_memo_budget_trips_lazydfa(self, automaton, data):
+        from repro.engines.lazydfa import LazyDFAEngine
+
+        engine = LazyDFAEngine(automaton)
+        with guard_scope(ScanGuard(ScanBudget(memo_bytes=1024))):
+            with pytest.raises(MemoryBudgetExceeded) as info:
+                engine.run(data)
+        assert info.value.engine == "lazydfa"
+        assert info.value.used_bytes > info.value.budget_bytes
+        assert counter("resilience.guard.memo_budget") == 1
+
+    def test_unguarded_scan_unaffected(self, automaton, data, oracle):
+        assert fingerprints(VectorEngine(automaton).run(data)) == oracle
+
+
+class TestLadder:
+    def test_no_fallback_when_healthy(self, automaton, data, oracle):
+        outcome = resilient_scan(automaton, data)
+        assert not outcome.degraded
+        assert outcome.engine == "dfa"
+        assert fingerprints(outcome.result) == oracle
+
+    def test_memo_blowup_degrades_to_bitset(self, automaton, data, oracle):
+        from repro.engines.cache import clear_engine_cache
+
+        # A warm cached DFA has its memo built already (nothing left to
+        # intern), so start cold: budget enforcement happens on growth.
+        clear_engine_cache()
+        plan = FaultPlan(memo_inflation=1e6)
+        with inject_faults(plan):
+            outcome = resilient_scan(
+                automaton, data, budget=ScanBudget(memo_bytes=4096)
+            )
+        assert outcome.engine == "bitset"
+        assert [name for name, _ in outcome.fallbacks] == ["dfa"]
+        assert "MemoryBudgetExceeded" in outcome.fallbacks[0][1]
+        assert fingerprints(outcome.result) == oracle
+        assert counter("resilience.fallback.dfa") == 1
+        assert counter("resilience.ladder.degraded") == 1
+
+    def test_injected_failures_walk_down(self, automaton, data, oracle):
+        with inject_faults(FaultPlan(fail_engines=frozenset({"dfa", "bitset"}))):
+            outcome = resilient_scan(automaton, data)
+        assert outcome.engine == "vector"
+        assert len(outcome.fallbacks) == 2
+        assert fingerprints(outcome.result) == oracle
+        assert counter("resilience.fault.engine_failure") == 2
+
+    def test_exhausted_ladder_raises_with_rung_details(self, automaton, data):
+        with inject_faults(
+            FaultPlan(fail_engines=frozenset({"dfa", "bitset", "vector", "reference"}))
+        ):
+            with pytest.raises(EngineFailure) as info:
+                resilient_scan(automaton, data)
+        message = str(info.value)
+        for rung in ("dfa", "bitset", "vector", "reference"):
+            assert rung in message
+
+    def test_ladder_from(self):
+        assert ladder_from("bitset") == ("bitset", "vector", "reference")
+        assert ladder_from("reference") == ("reference",)
+        assert ladder_from("weird") == ("weird",)
+
+    def test_cache_never_holds_degraded_engine(self, automaton, data):
+        from repro.engines.cache import clear_engine_cache, compiled_engine
+
+        clear_engine_cache()
+        with inject_faults(FaultPlan(fail_engines=frozenset({"dfa"}))):
+            outcome = resilient_scan(automaton, data)
+        assert outcome.engine == "bitset"
+        # The dfa key must not have been populated with a bitset engine:
+        # asking for the dfa engine now compiles a real LazyDFAEngine.
+        from repro.engines.lazydfa import LazyDFAEngine
+
+        assert type(compiled_engine(automaton, LazyDFAEngine)) is LazyDFAEngine
+        assert type(compiled_engine(automaton, BitsetEngine)) is BitsetEngine
+
+
+class TestSupervisor:
+    def test_worker_crash_recovers_in_process(self, automaton, data, oracle):
+        with inject_faults(FaultPlan(crash_segments=frozenset({1}))):
+            outcome = supervised_parallel_scan(
+                automaton, data, 4,
+                config=SupervisorConfig(backoff_base_s=0.0, backoff_cap_s=0.0),
+            )
+        assert outcome.complete
+        assert fingerprints(outcome.result) == oracle
+        assert outcome.segments[1].attempts == 2
+        assert counter("resilience.segment.crash") == 1
+        assert counter("resilience.segment.retries") == 1
+
+    def test_segment_timeout_on_thread_pool(self, automaton, data, oracle):
+        plan = FaultPlan(stall_segments=frozenset({0}), stall_s=0.5)
+        config = SupervisorConfig(
+            segment_timeout_s=0.1, backoff_base_s=0.0, backoff_cap_s=0.0
+        )
+        with concurrent.futures.ThreadPoolExecutor(2) as pool:
+            with inject_faults(plan):
+                outcome = supervised_parallel_scan(
+                    automaton, data, 3, pool=pool, config=config
+                )
+        assert outcome.complete
+        assert fingerprints(outcome.result) == oracle
+        assert counter("resilience.segment.timeout") == 1
+        timed_out = outcome.segments[0]
+        assert any("ScanTimeout" in failure for _, failure in timed_out.failures)
+
+    def test_poison_segment_yields_partial_result(self, automaton, data, oracle):
+        with inject_faults(FaultPlan(poison_segments=frozenset({2}))):
+            outcome = supervised_parallel_scan(
+                automaton, data, 4,
+                config=SupervisorConfig(
+                    max_attempts=2, backoff_base_s=0.0, backoff_cap_s=0.0
+                ),
+            )
+        assert not outcome.complete
+        assert [report.index for report in outcome.poisoned] == [2]
+        assert counter("resilience.segment.poisoned") == 1
+        # The partial result is exactly the oracle minus the quarantined
+        # segment's keep range — other segments are unaffected.
+        bad = outcome.segments[2].segment
+        expected = [
+            fp for fp in oracle if not bad.keep_from <= fp[0] < bad.end
+        ]
+        assert fingerprints(outcome.result) == expected
+
+    def test_retries_degrade_down_ladder(self, automaton, data, oracle):
+        # dfa fails everywhere: the pool attempt fails, the retry walks
+        # the ladder and lands on bitset with identical reports.
+        with inject_faults(FaultPlan(fail_engines=frozenset({"dfa"}))):
+            outcome = supervised_parallel_scan(
+                automaton, data, 3, engine="dfa",
+                config=SupervisorConfig(backoff_base_s=0.0, backoff_cap_s=0.0),
+            )
+        assert outcome.complete
+        assert outcome.degraded
+        assert {report.engine for report in outcome.segments} == {"bitset"}
+        assert fingerprints(outcome.result) == oracle
+
+    def test_strict_mode_reraises_original_error(self, automaton, data):
+        with inject_faults(FaultPlan(poison_segments=frozenset({0}))):
+            with pytest.raises(EngineFailure):
+                parallel_scan(automaton, data, 2)
+
+    def test_process_pool_crash_recovers(self, automaton, data, oracle):
+        plan = FaultPlan(crash_segments=frozenset({1}))
+        config = SupervisorConfig(backoff_base_s=0.0, backoff_cap_s=0.0)
+        with concurrent.futures.ProcessPoolExecutor(2) as pool:
+            with inject_faults(plan):
+                outcome = supervised_parallel_scan(
+                    automaton, data, 3, pool=pool, config=config
+                )
+        assert outcome.complete
+        assert fingerprints(outcome.result) == oracle
+        assert counter("resilience.pool.broken") >= 1
+
+
+class TestErrorPickling:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ScanTimeout("bitset", 4096, 1.5, segment=2),
+            MemoryBudgetExceeded("lazydfa", 9000, 4096, offset=17),
+            WorkerCrash(3, 2, "injected worker crash"),
+            EngineFailure("dfa", "boom", segment=1, offset=5),
+            InputError("/tmp/x.pcap", 24, "truncated record header"),
+            CheckpointMismatch("/tmp/x.ckpt.json", "meta changed"),
+        ],
+    )
+    def test_round_trip_preserves_context(self, error):
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is type(error)
+        assert str(clone) == str(error)
+        assert clone.__dict__ == error.__dict__
+
+
+class TestCheckpoint:
+    def test_records_resume_and_done(self, tmp_path):
+        path = tmp_path / "sweep.ckpt.json"
+        meta = {"names": ["a", "b"], "scale": 0.01}
+        first = SweepCheckpoint.open(path, meta)
+        first.record("a::x", {"value": 1})
+        assert path.exists()
+
+        resumed = SweepCheckpoint.open(path, meta, resume=True)
+        assert resumed.resumed_cells == 1
+        assert resumed.has("a::x") and resumed.get("a::x") == {"value": 1}
+        assert not resumed.has("b::x")
+        assert counter("resilience.resume.sweeps") == 1
+        assert counter("resilience.resume.cells") == 1
+
+        resumed.done()
+        assert not path.exists()
+
+    def test_meta_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "sweep.ckpt.json"
+        SweepCheckpoint.open(path, {"scale": 0.01}).record("c", {})
+        with pytest.raises(CheckpointMismatch):
+            SweepCheckpoint.open(path, {"scale": 0.02}, resume=True)
+
+    def test_corrupt_journal_refuses_resume(self, tmp_path):
+        path = tmp_path / "sweep.ckpt.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointMismatch):
+            SweepCheckpoint.open(path, {}, resume=True)
+
+    def test_fresh_open_ignores_stale_journal(self, tmp_path):
+        path = tmp_path / "sweep.ckpt.json"
+        SweepCheckpoint.open(path, {"scale": 0.01}).record("c", {"value": 2})
+        fresh = SweepCheckpoint.open(path, {"scale": 0.01}, resume=False)
+        assert not fresh.has("c")

@@ -93,3 +93,76 @@ def test_src_compiles_with_warnings_as_errors():
 
     for path in sorted(SRC.rglob("*.py")):
         py_compile.compile(str(path), doraise=True)
+
+
+def _stable_profile_view(payload: dict) -> dict:
+    """The timing-independent slice of a PROFILE.json payload."""
+    return {
+        name: {
+            "states": bench["states"],
+            "input_symbols": bench["input_symbols"],
+            "engines": {
+                engine: {
+                    key: row[key]
+                    for key in ("symbols", "reports", "mean_active_set")
+                    if key in row
+                }
+                for engine, row in bench["engines"].items()
+            },
+        }
+        for name, bench in payload["benchmarks"].items()
+    }
+
+
+@pytest.mark.slow
+def test_profile_kill_and_resume(tmp_path):
+    """Kill a checkpointed sweep mid-flight; --resume completes it.
+
+    ``REPRO_FAULT_HALT_AFTER_CELLS=2`` hard-kills (``os._exit(137)``, as
+    SIGKILL would) after the second journaled cell; the resumed run must
+    re-run only the missing cells and produce the same result content as
+    an uninterrupted sweep (docs/RESILIENCE.md).
+    """
+    import json
+    import os
+
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    out = tmp_path / "PROFILE.json"
+    ckpt = tmp_path / "PROFILE.ckpt.json"
+    base = [
+        sys.executable, "-m", "repro", "profile", "--smoke",
+        "--names", "Snort", "ClamAV",
+        "--out", str(out), "--checkpoint", str(ckpt),
+    ]
+
+    killed = subprocess.run(
+        base, env={**env, "REPRO_FAULT_HALT_AFTER_CELLS": "2"},
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert killed.returncode == 137, killed.stderr
+    assert not out.exists()
+    journaled = json.loads(ckpt.read_text())["cells"]
+    assert len(journaled) == 2
+
+    resumed = subprocess.run(
+        base + ["--resume"], env=env, capture_output=True, text=True, cwd=REPO
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert "resumed 2 cells" in resumed.stderr
+    assert not ckpt.exists()  # journal deleted on successful completion
+    payload = json.loads(out.read_text())
+    assert payload["resilience"]["resumed_cells"] == 2
+
+    clean_out = tmp_path / "CLEAN.json"
+    clean = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "profile", "--smoke",
+            "--names", "Snort", "ClamAV",
+            "--out", str(clean_out), "--checkpoint", "",
+        ],
+        env=env, capture_output=True, text=True, cwd=REPO,
+    )
+    assert clean.returncode == 0, clean.stderr
+    assert _stable_profile_view(payload) == _stable_profile_view(
+        json.loads(clean_out.read_text())
+    )
